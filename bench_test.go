@@ -1,0 +1,239 @@
+package storagetank
+
+// The benchmark harness: one Benchmark per figure/table of the paper
+// (DESIGN.md §4). Each runs the corresponding experiment end-to-end on
+// the deterministic simulator and reports its headline numbers as
+// benchmark metrics, so `go test -bench=. -benchmem` regenerates the
+// entire evaluation. Micro-benchmarks for the protocol hot paths follow.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs experiment id b.N times and surfaces the chosen
+// metrics in the benchmark output.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = e.Run(experiments.Params{Seed: int64(i + 1), Quick: true})
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkF1Architecture — Fig 1 / §1.1: direct SAN access vs the
+// function-shipping server.
+func BenchmarkF1Architecture(b *testing.B) {
+	benchExperiment(b, "F1", "speedup_at_max_clients", "funcship.server_data_bytes")
+}
+
+// BenchmarkF2Partition — Fig 2 / §2: availability and safety across
+// recovery policies under a control-network partition.
+func BenchmarkF2Partition(b *testing.B) {
+	benchExperiment(b, "F2", "storage-tank.lock_wait_secs", "fence-only.violations")
+}
+
+// BenchmarkF3Renewal — Fig 3 / Thm 3.1: renewal from tC1 under
+// rate-synchronized clocks.
+func BenchmarkF3Renewal(b *testing.B) {
+	benchExperiment(b, "F3", "violations.eps=0.05", "violations.outside_bound")
+}
+
+// BenchmarkF4Phases — Fig 4 / §3.2: the four-phase lease period of an
+// isolated client.
+func BenchmarkF4Phases(b *testing.B) {
+	benchExperiment(b, "F4", "dirty_at_expiry", "steal_after_expiry_secs")
+}
+
+// BenchmarkF5NACK — Fig 5 / §3.3: NACK vs silent-ignore.
+func BenchmarkF5NACK(b *testing.B) {
+	benchExperiment(b, "F5", "nack.msgs_after_heal", "ignore.msgs_after_heal")
+}
+
+// BenchmarkT1Overhead — §3-5: lease overhead vs V leases, Frangipani
+// heartbeats, NFS polling.
+func BenchmarkT1Overhead(b *testing.B) {
+	benchExperiment(b, "T1",
+		"storage-tank.active_lease_msgs_per_tau",
+		"frangipani.active_lease_msgs_per_tau",
+		"v-leases.server_lease_bytes_max")
+}
+
+// BenchmarkT2Availability — §1.2/§2: unavailability window vs τ.
+func BenchmarkT2Availability(b *testing.B) {
+	benchExperiment(b, "T2", "storage-tank.wait_secs.tau=5s", "storage-tank.wait_secs.tau=20s")
+}
+
+// BenchmarkT3Safety — §2.1: violations under failure injection.
+func BenchmarkT3Safety(b *testing.B) {
+	benchExperiment(b, "T3",
+		"storage-tank.total_violations",
+		"fence-only.total_violations",
+		"naive-steal.total_violations")
+}
+
+// BenchmarkT4Dlock — §5: GFS dlocks vs logical locks.
+func BenchmarkT4Dlock(b *testing.B) {
+	benchExperiment(b, "T4", "gfs-dlock.san_msgs_per_op", "storage-tank.san_msgs_per_op")
+}
+
+// BenchmarkT5Opportunistic — §3.1: keep-alives vs client activity.
+func BenchmarkT5Opportunistic(b *testing.B) {
+	benchExperiment(b, "T5")
+}
+
+// BenchmarkT6SlowClient — §6: the fencing backstop against clocks beyond
+// the rate bound.
+func BenchmarkT6SlowClient(b *testing.B) {
+	benchExperiment(b, "T6", "nofence.late_write_corrupted", "fence.fenced_rejections")
+}
+
+// BenchmarkT7ServerRecovery — §6: lock reassertion after a server
+// failure vs the full lease recovery.
+func BenchmarkT7ServerRecovery(b *testing.B) {
+	benchExperiment(b, "T7", "reassert.outage_secs", "norecover.outage_secs")
+}
+
+// BenchmarkT8MultiServer — §4/Fig 1: per-pair lease granularity across a
+// server cluster.
+func BenchmarkT8MultiServer(b *testing.B) {
+	benchExperiment(b, "T8", "unaffected_shard_errors", "partitioned_shard_errors")
+}
+
+// BenchmarkA1PhaseBoundaries — ablation of the phase split (DESIGN §5).
+func BenchmarkA1PhaseBoundaries(b *testing.B) {
+	benchExperiment(b, "A1", "dirty_at_expiry.p3=0.98")
+}
+
+// BenchmarkA2RetryPolicy — ablation of failure detection under loss.
+func BenchmarkA2RetryPolicy(b *testing.B) {
+	benchExperiment(b, "A2", "false_suspicions.retries=0", "false_suspicions.retries=3")
+}
+
+// --- protocol hot-path micro-benchmarks -------------------------------------
+
+// BenchmarkAuthorityAllow measures the server's entire per-message lease
+// cost during normal operation: one lookup in an empty map.
+func BenchmarkAuthorityAllow(b *testing.B) {
+	s := sim.NewScheduler(1)
+	auth := core.NewAuthority(core.DefaultConfig(), s.NewClock(1, 0), nopSteal{}, nil, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !auth.Allow(msg.NodeID(i%1024 + 2)) {
+			b.Fatal("refused")
+		}
+	}
+}
+
+type nopSteal struct{}
+
+func (nopSteal) StealLocks(msg.NodeID) {}
+
+// BenchmarkLeaseRenewal measures the client-side cost of an opportunistic
+// renewal (timer re-arm included).
+func BenchmarkLeaseRenewal(b *testing.B) {
+	s := sim.NewScheduler(1)
+	clock := s.NewClock(1, 0)
+	lease := core.NewLeaseClient(core.DefaultConfig(), clock, nopActions{}, nil, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease.Renewed(sim.Time(i + 1)) // strictly increasing tC1
+	}
+}
+
+type nopActions struct{}
+
+func (nopActions) SendKeepAlive()              {}
+func (nopActions) Quiesce()                    {}
+func (nopActions) Flush(done func())           { done() }
+func (nopActions) Expired()                    {}
+func (nopActions) PhaseChange(_, _ core.Phase) {}
+
+// BenchmarkSchedulerEvents measures the simulator's event throughput.
+func BenchmarkSchedulerEvents(b *testing.B) {
+	s := sim.NewScheduler(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, fn)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, fn)
+	s.Run()
+}
+
+// BenchmarkReplyCache measures at-most-once admission on the request
+// fast path.
+func BenchmarkReplyCache(b *testing.B) {
+	rc := core.NewReplyCache(128, nil, "")
+	reply := &msg.Reply{Status: msg.ACK}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := msg.ReqID(i)
+		if d, _ := rc.Admit(3, id); d != core.Execute {
+			b.Fatal("dup")
+		}
+		rc.Complete(3, id, reply)
+	}
+}
+
+// BenchmarkClusterWritePath measures a full client write through the
+// simulated installation (lock cached, cache hit: the common case).
+func BenchmarkClusterWritePath(b *testing.B) {
+	opts := DefaultOptions()
+	opts.NoChecker = true
+	cl := NewCluster(opts)
+	cl.Start()
+	h, _ := cl.MustOpen(0, "/bench", true, true)
+	data := make([]byte, BlockSize)
+	if errno := cl.Write(0, h, 0, data); errno != msg.OK {
+		b.Fatal(errno)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errno := cl.Write(0, h, 0, data); errno != msg.OK {
+			b.Fatal(errno)
+		}
+	}
+}
+
+// BenchmarkEndToEndSimSecond measures how fast the simulator advances one
+// simulated second of a busy 3-client installation.
+func BenchmarkEndToEndSimSecond(b *testing.B) {
+	opts := DefaultOptions()
+	opts.NoChecker = true
+	cl := NewCluster(opts)
+	cl.Start()
+	PopulateWorkload(cl, quickWorkload())
+	for i := range cl.Clients {
+		NewWorkloadRunner(cl, i, quickWorkload(), int64(i)).Start()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.RunFor(time.Second)
+	}
+}
+
+func quickWorkload() WorkloadConfig {
+	cfg := DefaultWorkload()
+	cfg.Files = 8
+	cfg.BlocksPerFile = 4
+	cfg.MeanThink = 20 * time.Millisecond
+	return cfg
+}

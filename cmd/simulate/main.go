@@ -1,0 +1,51 @@
+// Command simulate runs the paper-reproduction experiments (DESIGN.md §4)
+// on the deterministic simulator and prints their tables — the data
+// behind every figure and table claim recorded in EXPERIMENTS.md.
+//
+//	simulate                 # run everything, full scale
+//	simulate -run F2,T1      # selected experiments
+//	simulate -quick          # smaller sweeps (what the test suite runs)
+//	simulate -seed 42        # different deterministic universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs (F1-F5, T1-T8, A1-A2) or 'all'")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "smaller sweeps and durations")
+	)
+	flag.Parse()
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*run, "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q (have F1-F5, T1-T8, A1-A2)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := experiments.Params{Seed: *seed, Quick: *quick}
+	fmt.Printf("Safe Caching in a Distributed File System for Network Attached Storage — reproduction\n")
+	fmt.Printf("seed=%d quick=%v\n\n", *seed, *quick)
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(params)
+		fmt.Print(res.String())
+		fmt.Printf("  (wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,305 @@
+// Command tankcli is a live Storage Tank client: it registers with a
+// tankd server over TCP, performs file-system operations — metadata
+// through the control network, data directly against the SAN disk ports —
+// and prints the results.
+//
+//	tankcli -server 127.0.0.1:7001 -disks "1000=127.0.0.1:7101,1001=127.0.0.1:7102" \
+//	        -id 10 write /hello.txt 0 "hello storage tank"
+//	tankcli ... -id 11 read /hello.txt 0
+//
+// Commands: mkdir PATH | create PATH | ls PATH | stat PATH | rm PATH |
+// write PATH BLOCK TEXT | read PATH BLOCK | bench OPS | idle DURATION
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/rpcnet"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:7001", "tankd control address")
+		disksFlag  = flag.String("disks", "", "SAN address book: id=addr,id=addr,...")
+		id         = flag.Int("id", 10, "this client's node id")
+		tau        = flag.Duration("tau", 30*time.Second, "lease period τ (must match tankd)")
+		eps        = flag.Float64("eps", 0.05, "rate bound ε (must match tankd)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: tankcli [flags] COMMAND ARGS...\ncommands: mkdir create ls stat rm write read bench idle")
+	}
+
+	diskAddrs, err := parseDisks(*disksFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tau = *tau
+	cfg.Bound.Eps = *eps
+
+	node, err := rpcnet.StartClientNode(msg.NodeID(*id), 1,
+		client.Config{Core: cfg}, *serverAddr, diskAddrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	cli := &cli{node: node}
+	cli.register()
+	if err := cli.run(flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type cli struct{ node *rpcnet.ClientNode }
+
+// do runs fn on the client executor and waits for completion.
+func (c *cli) do(fn func(done func())) {
+	ch := make(chan struct{})
+	c.node.Do(func() { fn(func() { close(ch) }) })
+	select {
+	case <-ch:
+	case <-time.After(30 * time.Second):
+		log.Fatal("operation timed out")
+	}
+}
+
+func (c *cli) register() {
+	c.do(func(done func()) {
+		c.node.Client.OnRecovered = func(e msg.Epoch) {
+			fmt.Printf("registered as n%d epoch %d\n", c.node.Client.ID(), e)
+			done()
+		}
+		c.node.Client.Start()
+	})
+}
+
+func (c *cli) open(path string, write, create bool) (msg.Handle, msg.Attr, msg.Errno) {
+	var h msg.Handle
+	var attr msg.Attr
+	var errno msg.Errno
+	c.do(func(done func()) {
+		c.node.Client.Open(path, write, create, func(gh msg.Handle, a msg.Attr, e msg.Errno) {
+			h, attr, errno = gh, a, e
+			done()
+		})
+	})
+	return h, attr, errno
+}
+
+func (c *cli) run(args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "mkdir", "create":
+		if err := need(1); err != nil {
+			return err
+		}
+		var errno msg.Errno
+		c.do(func(done func()) {
+			c.node.Client.Create(rest[0], cmd == "mkdir", func(_ msg.Attr, e msg.Errno) {
+				errno = e
+				done()
+			})
+		})
+		return errno.Or()
+
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		_, attr, errno := c.open(rest[0], false, false)
+		if errno != msg.OK {
+			return errno
+		}
+		var entries []msg.DirEntry
+		c.do(func(done func()) {
+			c.node.Client.Readdir(attr.Ino, func(es []msg.DirEntry, e msg.Errno) {
+				entries, errno = es, e
+				done()
+			})
+		})
+		if errno != msg.OK {
+			return errno
+		}
+		for _, e := range entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %8v %s\n", kind, e.Ino, e.Name)
+		}
+		return nil
+
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		var attr msg.Attr
+		var errno msg.Errno
+		c.do(func(done func()) {
+			c.node.Client.Lookup(rest[0], func(a msg.Attr, e msg.Errno) {
+				attr, errno = a, e
+				done()
+			})
+		})
+		if errno != msg.OK {
+			return errno
+		}
+		fmt.Printf("ino=%v dir=%v size=%d version=%d nlink=%d\n",
+			attr.Ino, attr.IsDir, attr.Size, attr.Version, attr.Nlink)
+		return nil
+
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		var errno msg.Errno
+		c.do(func(done func()) {
+			c.node.Client.Unlink(rest[0], func(e msg.Errno) { errno = e; done() })
+		})
+		return errno.Or()
+
+	case "write":
+		if err := need(3); err != nil {
+			return err
+		}
+		idx, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		h, _, errno := c.open(rest[0], true, true)
+		if errno != msg.OK {
+			return errno
+		}
+		c.do(func(done func()) {
+			c.node.Client.Write(h, idx, []byte(rest[2]), func(e msg.Errno) { errno = e; done() })
+		})
+		if errno != msg.OK {
+			return errno
+		}
+		c.do(func(done func()) {
+			c.node.Client.Sync(func(e msg.Errno) { errno = e; done() })
+		})
+		if errno == msg.OK {
+			fmt.Printf("wrote %d bytes to %s block %d (flushed)\n", len(rest[2]), rest[0], idx)
+		}
+		return errno.Or()
+
+	case "read":
+		if err := need(2); err != nil {
+			return err
+		}
+		idx, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		h, _, errno := c.open(rest[0], false, false)
+		if errno != msg.OK {
+			return errno
+		}
+		var data []byte
+		c.do(func(done func()) {
+			c.node.Client.Read(h, idx, func(d []byte, e msg.Errno) { data, errno = d, e; done() })
+		})
+		if errno != msg.OK {
+			return errno
+		}
+		fmt.Printf("%s\n", strings.TrimRight(string(data), "\x00"))
+		return nil
+
+	case "bench":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return err
+		}
+		h, _, errno := c.open(fmt.Sprintf("/bench-n%d", c.node.Client.ID()), true, true)
+		if errno != msg.OK {
+			return errno
+		}
+		start := time.Now()
+		buf := make([]byte, 4096)
+		for i := 0; i < n; i++ {
+			var e msg.Errno
+			c.do(func(done func()) {
+				c.node.Client.Write(h, uint64(i%8), buf, func(ee msg.Errno) { e = ee; done() })
+			})
+			if e != msg.OK {
+				return e
+			}
+		}
+		c.do(func(done func()) { c.node.Client.Sync(func(msg.Errno) { done() }) })
+		el := time.Since(start)
+		fmt.Printf("%d writes in %v (%.0f ops/s)\n", n, el, float64(n)/el.Seconds())
+		return nil
+
+	case "idle":
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return err
+		}
+		// Demonstrate keep-alives: touch a file, then idle. The client's
+		// lease machinery preserves the cache with NULL messages.
+		h, _, errno := c.open("/idle-demo", true, true)
+		if errno != msg.OK {
+			return errno
+		}
+		c.do(func(done func()) {
+			c.node.Client.Write(h, 0, []byte("cached"), func(msg.Errno) { done() })
+		})
+		fmt.Printf("idling %v with cached state...\n", d)
+		time.Sleep(d)
+		ch := make(chan [2]uint64, 1)
+		c.node.Do(func() {
+			ch <- [2]uint64{
+				c.node.Reg.CounterValue(fmt.Sprintf("client.n%d.lease.keepalives", c.node.Client.ID())),
+				c.node.Reg.CounterValue(fmt.Sprintf("client.n%d.lease.expiries", c.node.Client.ID())),
+			}
+		})
+		v := <-ch
+		fmt.Printf("keep-alives sent: %d, lease expiries: %d\n", v[0], v[1])
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseDisks(s string) (map[msg.NodeID]string, error) {
+	out := make(map[msg.NodeID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -disks entry %q (want id=addr)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad disk id %q: %v", kv[0], err)
+		}
+		out[msg.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseDisks(t *testing.T) {
+	got, err := parseDisks("1000=127.0.0.1:7101, 1001=127.0.0.1:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1000] != "127.0.0.1:7101" || got[1001] != "127.0.0.1:7102" {
+		t.Fatalf("parsed = %v", got)
+	}
+	if m, err := parseDisks(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty: %v %v", m, err)
+	}
+	if _, err := parseDisks("nonsense"); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	if _, err := parseDisks("abc=addr"); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+}

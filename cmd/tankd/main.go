@@ -1,0 +1,116 @@
+// Command tankd runs a live Storage Tank installation's server side: the
+// metadata/lock server on a TCP control port, plus the installation's SAN
+// disks, each on its own TCP port. Clients (cmd/tankcli) connect to the
+// control port for metadata and locks and directly to the disk ports for
+// data — the paper's two-network architecture on loopback or a LAN.
+//
+//	tankd -ctrl :7001 -san-base 7101 -disks 2 -tau 30s
+//
+// On SIGINT/SIGTERM it prints the server's statistics, including the
+// authority counters that demonstrate the protocol's passivity, and
+// exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/msg"
+	"repro/internal/rpcnet"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		ctrlAddr   = flag.String("ctrl", ":7001", "control-network listen address")
+		sanHost    = flag.String("san-host", "127.0.0.1", "host disks listen on")
+		sanBase    = flag.Int("san-base", 7101, "first SAN port; disk i listens on san-base+i")
+		nDisks     = flag.Int("disks", 2, "number of SAN disks to host")
+		diskBlocks = flag.Uint64("disk-blocks", 1<<16, "capacity of each disk in 4KiB blocks")
+		tau        = flag.Duration("tau", 30*time.Second, "lease period τ")
+		eps        = flag.Float64("eps", 0.05, "clock rate-synchronization bound ε")
+		policyName = flag.String("policy", "storage-tank", "recovery policy (see internal/baselines)")
+		verbose    = flag.Bool("v", false, "log transport events")
+	)
+	flag.Parse()
+
+	pol, ok := policyByName(*policyName)
+	if !ok {
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tau = *tau
+	cfg.Bound.Eps = *eps
+
+	// Disks first, so the server's address book is complete.
+	diskAddrs := make(map[msg.NodeID]string)
+	diskCaps := make(map[msg.NodeID]uint64)
+	var diskNodes []*rpcnet.DiskNode
+	for i := 0; i < *nDisks; i++ {
+		id := msg.NodeID(1000 + i)
+		addr := fmt.Sprintf("%s:%d", *sanHost, *sanBase+i)
+		dn, err := rpcnet.StartDiskNode(id, disk.Config{Blocks: *diskBlocks}, addr)
+		if err != nil {
+			log.Fatalf("disk %v: %v", id, err)
+		}
+		diskNodes = append(diskNodes, dn)
+		diskAddrs[id] = dn.Addr.String()
+		diskCaps[id] = *diskBlocks
+		fmt.Printf("disk %v listening on %v (%d blocks)\n", id, dn.Addr, *diskBlocks)
+	}
+
+	srv, err := rpcnet.StartServerNode(1, server.Config{
+		Core: cfg, Policy: pol, Disks: diskCaps,
+	}, *ctrlAddr, diskAddrs)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	if *verbose {
+		srv.Ctrl.SetLogf(log.Printf)
+	}
+	fmt.Printf("server n1 listening on %v (policy=%s τ=%v ε=%g)\n", srv.Addr, pol.Name, *tau, *eps)
+	fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(diskAddrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("\n--- server statistics ---")
+	fmt.Print(srv.Reg.Dump())
+	srv.Close()
+	for _, d := range diskNodes {
+		d.Close()
+	}
+}
+
+func policyByName(name string) (baselines.Policy, bool) {
+	for _, p := range baselines.All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return baselines.Policy{}, false
+}
+
+func diskFlag(addrs map[msg.NodeID]string) string {
+	out := ""
+	for id := msg.NodeID(1000); ; id++ {
+		addr, ok := addrs[id]
+		if !ok {
+			break
+		}
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("%d=%s", id, addr)
+	}
+	return out
+}

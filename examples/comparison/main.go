@@ -1,0 +1,32 @@
+// Comparison: run the head-to-head experiments against the prior systems
+// the paper discusses — V per-object leases (§4), Frangipani heartbeats
+// (§5), NFS polling (§5), GFS dlocks (§5) — and print the tables.
+//
+//	go run ./examples/comparison           # quick sweeps
+//	go run ./examples/comparison -full     # the full EXPERIMENTS.md scale
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	storagetank "repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "full-scale sweeps (slower)")
+	flag.Parse()
+
+	params := storagetank.ExperimentParams{Seed: 1, Quick: !*full}
+	for _, id := range []string{"T1", "T2", "T4"} {
+		e, ok := storagetank.ExperimentByID(id)
+		if !ok {
+			panic("missing experiment " + id)
+		}
+		fmt.Println(e.Run(params).String())
+	}
+	fmt.Println("T1: the paper's protocol is the only design with zero lease traffic,")
+	fmt.Println("    zero server lease state, and zero server lease work while active.")
+	fmt.Println("T2: recovery latency is the price — it scales with τ(1+ε).")
+	fmt.Println("T4: logical locks amortize; disk-enforced dlocks pay per operation.")
+}

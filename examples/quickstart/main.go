@@ -1,0 +1,65 @@
+// Quickstart: build a simulated Storage Tank installation, write a file
+// on one client, read it from another (watching the lock demand and the
+// dirty-data flush happen underneath), and print the protocol's costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	storagetank "repro"
+	"repro/internal/msg"
+)
+
+func main() {
+	// A 3-client, 2-disk installation of the paper's Figure 1: clients
+	// and server on the control network, clients and disks on the SAN,
+	// per-node clocks drifting within the rate bound ε.
+	opts := storagetank.DefaultOptions()
+	cl := storagetank.NewCluster(opts)
+	cl.Start()
+	fmt.Printf("installation up: %d clients, %d disks, τ=%v, ε=%g\n\n",
+		len(cl.Clients), len(cl.Disks), opts.Core.Tau, opts.Core.Bound.Eps)
+
+	// Client 0 creates and writes a file. The write is WRITE-BACK: it
+	// completes into the client cache under an exclusive data lock.
+	h0, _ := cl.MustOpen(0, "/hello.txt", true, true)
+	payload := []byte("hello, network attached storage")
+	if errno := cl.Write(0, h0, 0, payload); errno != msg.OK {
+		log.Fatalf("write: %v", errno)
+	}
+	fmt.Printf("client 0 wrote %d bytes (dirty pages in cache: %d)\n",
+		len(payload), cl.Clients[0].Cache().TotalDirty())
+
+	// Client 1 reads the same file. The server demands client 0's
+	// exclusive lock down to shared; client 0 flushes its dirty page to
+	// the SAN first, so client 1 reads the newest data from the disk.
+	h1, _ := cl.MustOpen(1, "/hello.txt", false, false)
+	data, errno := cl.Read(1, h1, 0)
+	if errno != msg.OK {
+		log.Fatalf("read: %v", errno)
+	}
+	fmt.Printf("client 1 read:  %q\n", data[:len(payload)])
+	fmt.Printf("client 0 dirty pages after the demand: %d\n\n", cl.Clients[0].Cache().TotalDirty())
+
+	// Let the installation idle for a while: lock and metadata traffic
+	// stops, so the clients preserve their caches with keep-alives.
+	cl.RunFor(30 * time.Second)
+
+	fmt.Println("protocol costs so far:")
+	fmt.Printf("  keep-alive messages:            %d (idle clients only)\n",
+		cl.Reg.CounterValue("net.control.sent.keepalive"))
+	fmt.Printf("  server lease operations:        %d\n",
+		cl.Reg.CounterValue("server.authority.ops"))
+	fmt.Printf("  server lease memory:            %d bytes\n",
+		cl.Server.Authority().StateBytes())
+	fmt.Printf("  file data moved through server: %d bytes\n",
+		cl.Reg.CounterValue("server.data_bytes"))
+
+	// And the oracle confirms the run was sequentially consistent.
+	cl.Checker.FinalCheck()
+	fmt.Printf("  consistency violations:         %d\n", len(cl.Checker.Violations()))
+}

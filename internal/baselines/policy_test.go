@@ -1,0 +1,70 @@
+package baselines
+
+import "testing"
+
+func TestNamedPoliciesValidate(t *testing.T) {
+	names := make(map[string]bool)
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Name == "" {
+			t.Error("unnamed policy")
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate policy name %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	if len(names) != 9 {
+		t.Fatalf("expected 9 named policies, got %d", len(names))
+	}
+	if All()[0].Name != "storage-tank" {
+		t.Fatal("storage-tank must come first")
+	}
+}
+
+func TestInvalidCombinationsRejected(t *testing.T) {
+	bad := []Policy{
+		{Lease: LeaseStorageTank, Recovery: RecoverHonorLocks},
+		{Lease: LeaseHeartbeat, Recovery: RecoverLeaseFence},
+		{Lease: LeasePerObject, Recovery: RecoverHeartbeatSteal},
+		{Lease: LeaseNone, Recovery: RecoverLeaseFence},
+		{Lease: LeaseNone, Recovery: RecoverHeartbeatSteal},
+		{Lease: LeaseNone, Recovery: RecoverPerObjectExpire},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("combination %d validated but should not", i)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, p := range []LeasePolicy{LeaseStorageTank, LeaseHeartbeat, LeasePerObject, LeaseNone, LeasePolicy(99)} {
+		if p.String() == "" {
+			t.Errorf("empty string for lease policy %d", p)
+		}
+	}
+	for _, r := range []RecoveryPolicy{RecoverLeaseFence, RecoverHonorLocks, RecoverStealImmediate,
+		RecoverFenceOnly, RecoverHeartbeatSteal, RecoverPerObjectExpire, RecoveryPolicy(99)} {
+		if r.String() == "" {
+			t.Errorf("empty string for recovery policy %d", r)
+		}
+	}
+	if DataDirect.String() == "" || DataFunctionShip.String() == "" {
+		t.Error("empty data path string")
+	}
+}
+
+func TestPolicyFlags(t *testing.T) {
+	if !NFSPoll().NFS || NFSPoll().Data != DataFunctionShip {
+		t.Fatal("NFSPoll flags wrong")
+	}
+	if !GFSDlock().DLock || GFSDlock().Data != DataDirect {
+		t.Fatal("GFSDlock flags wrong")
+	}
+	if StorageTank().NFS || StorageTank().DLock {
+		t.Fatal("StorageTank must not carry baseline flags")
+	}
+}

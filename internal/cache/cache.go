@@ -1,0 +1,315 @@
+// Package cache is the client's write-back cache: data pages, cached
+// block maps, and cached attributes, all protected jointly by data locks
+// and the client's lease. The cache itself is mechanism; the policy —
+// when entries may be served, when they must be flushed or invalidated —
+// is driven by the owning client according to the lease phase and lock
+// mode.
+package cache
+
+import (
+	"container/list"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// Page is one cached block of file data.
+type Page struct {
+	Data  []byte
+	Dirty bool
+	// Ver is the oracle's version stamp for this content (consistency
+	// checking only).
+	Ver uint64
+}
+
+// Object is the cached state for one file.
+type Object struct {
+	Attr msg.Attr
+	// Mode is the data lock under which this object is cached.
+	Mode msg.LockMode
+	// Blocks is the cached block map (valid while a data lock is held —
+	// the map can only change through this client's own AllocBlocks).
+	Blocks    []msg.BlockRef
+	HaveAttr  bool
+	HaveMap   bool
+	pages     map[uint64]*Page // index in file → page
+	dirtyKeys map[uint64]bool
+}
+
+func newObject() *Object {
+	return &Object{pages: make(map[uint64]*Page), dirtyKeys: make(map[uint64]bool)}
+}
+
+// Page returns the cached page at file-block index idx, or nil.
+func (o *Object) Page(idx uint64) *Page { return o.pages[idx] }
+
+// DirtyCount returns the number of dirty pages.
+func (o *Object) DirtyCount() int { return len(o.dirtyKeys) }
+
+type pageKey struct {
+	ino msg.ObjectID
+	idx uint64
+}
+
+// Cache is one client's cache across all objects. When a capacity is
+// set, clean pages are evicted least-recently-used; dirty pages are
+// pinned until flushed (losing them would lose acknowledged writes).
+type Cache struct {
+	objects map[msg.ObjectID]*Object
+	// maxPages bounds resident pages (0 = unbounded).
+	maxPages int
+	lru      *list.List // front = most recent; values are pageKey
+	elems    map[pageKey]*list.Element
+
+	hits, misses *stats.Counter
+	dirtyPages   *stats.Gauge
+	invals       *stats.Counter
+	evictions    *stats.Counter
+}
+
+// New creates an empty, unbounded cache.
+func New(reg *stats.Registry, prefix string) *Cache {
+	return NewWithCapacity(reg, prefix, 0)
+}
+
+// NewWithCapacity creates a cache evicting clean pages LRU beyond
+// maxPages (0 = unbounded).
+func NewWithCapacity(reg *stats.Registry, prefix string, maxPages int) *Cache {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	return &Cache{
+		objects:    make(map[msg.ObjectID]*Object),
+		maxPages:   maxPages,
+		lru:        list.New(),
+		elems:      make(map[pageKey]*list.Element),
+		hits:       reg.Counter(prefix + "cache.hits"),
+		misses:     reg.Counter(prefix + "cache.misses"),
+		dirtyPages: reg.Gauge(prefix + "cache.dirty_pages"),
+		invals:     reg.Counter(prefix + "cache.invalidations"),
+		evictions:  reg.Counter(prefix + "cache.evictions"),
+	}
+}
+
+// touch marks a page most-recently-used.
+func (c *Cache) touch(k pageKey) {
+	if e, ok := c.elems[k]; ok {
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.elems[k] = c.lru.PushFront(k)
+}
+
+// forget removes a page from the LRU bookkeeping.
+func (c *Cache) forget(k pageKey) {
+	if e, ok := c.elems[k]; ok {
+		c.lru.Remove(e)
+		delete(c.elems, k)
+	}
+}
+
+// evictIfNeeded drops least-recently-used CLEAN pages down to capacity.
+func (c *Cache) evictIfNeeded() {
+	if c.maxPages <= 0 {
+		return
+	}
+	for c.lru.Len() > c.maxPages {
+		evicted := false
+		for e := c.lru.Back(); e != nil; e = e.Prev() {
+			k := e.Value.(pageKey)
+			o := c.objects[k.ino]
+			if o == nil {
+				c.lru.Remove(e)
+				delete(c.elems, k)
+				evicted = true
+				break
+			}
+			p := o.pages[k.idx]
+			if p == nil {
+				c.lru.Remove(e)
+				delete(c.elems, k)
+				evicted = true
+				break
+			}
+			if p.Dirty {
+				continue // pinned until flushed
+			}
+			delete(o.pages, k.idx)
+			c.lru.Remove(e)
+			delete(c.elems, k)
+			c.evictions.Inc()
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything resident is dirty: over budget, but safe
+		}
+	}
+}
+
+// Object returns the cached object, or nil.
+func (c *Cache) Object(ino msg.ObjectID) *Object { return c.objects[ino] }
+
+// Ensure returns the object's cache entry, creating it if absent.
+func (c *Cache) Ensure(ino msg.ObjectID) *Object {
+	o := c.objects[ino]
+	if o == nil {
+		o = newObject()
+		c.objects[ino] = o
+	}
+	return o
+}
+
+// Lookup serves a cached page, counting hit/miss.
+func (c *Cache) Lookup(ino msg.ObjectID, idx uint64) *Page {
+	if o := c.objects[ino]; o != nil {
+		if p := o.pages[idx]; p != nil {
+			c.hits.Inc()
+			c.touch(pageKey{ino, idx})
+			return p
+		}
+	}
+	c.misses.Inc()
+	return nil
+}
+
+// Fill installs a clean page read from the SAN.
+func (c *Cache) Fill(ino msg.ObjectID, idx uint64, data []byte, ver uint64) *Page {
+	o := c.Ensure(ino)
+	p := &Page{Data: append([]byte(nil), data...), Ver: ver}
+	o.pages[idx] = p
+	c.touch(pageKey{ino, idx})
+	c.evictIfNeeded()
+	return p
+}
+
+// Write applies a write-back store to a page, marking it dirty with the
+// new version stamp. Missing pages are created (whole-block write).
+func (c *Cache) Write(ino msg.ObjectID, idx uint64, data []byte, ver uint64) *Page {
+	o := c.Ensure(ino)
+	p := o.pages[idx]
+	if p == nil {
+		p = &Page{}
+		o.pages[idx] = p
+	}
+	p.Data = append(p.Data[:0], data...)
+	p.Ver = ver
+	if !p.Dirty {
+		p.Dirty = true
+		o.dirtyKeys[idx] = true
+		c.dirtyPages.Add(1)
+	}
+	c.touch(pageKey{ino, idx})
+	c.evictIfNeeded()
+	return p
+}
+
+// MarkClean records that a page's current content reached the SAN.
+func (c *Cache) MarkClean(ino msg.ObjectID, idx uint64) {
+	o := c.objects[ino]
+	if o == nil {
+		return
+	}
+	if p := o.pages[idx]; p != nil && p.Dirty {
+		p.Dirty = false
+		delete(o.dirtyKeys, idx)
+		c.dirtyPages.Add(-1)
+		// Newly clean pages become evictable; trim if over budget.
+		c.evictIfNeeded()
+	}
+}
+
+// DirtyPages lists the dirty page indexes of an object.
+func (c *Cache) DirtyPages(ino msg.ObjectID) []uint64 {
+	o := c.objects[ino]
+	if o == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(o.dirtyKeys))
+	for idx := range o.dirtyKeys {
+		out = append(out, idx)
+	}
+	// Deterministic order: flush I/O issue order is behaviour (the disks
+	// queue), and simulations must replay identically from a seed.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyObjects lists objects that have at least one dirty page, in
+// deterministic (ascending) order.
+func (c *Cache) DirtyObjects() []msg.ObjectID {
+	var out []msg.ObjectID
+	for ino, o := range c.objects {
+		if len(o.dirtyKeys) > 0 {
+			out = append(out, ino)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalDirty returns the number of dirty pages across all objects.
+func (c *Cache) TotalDirty() int {
+	n := 0
+	for _, o := range c.objects {
+		n += len(o.dirtyKeys)
+	}
+	return n
+}
+
+// DropPagesFrom removes all cached pages with index ≥ from (truncation):
+// the underlying blocks are being freed, so neither dirty nor clean
+// content may be served again.
+func (c *Cache) DropPagesFrom(ino msg.ObjectID, from uint64) {
+	o := c.objects[ino]
+	if o == nil {
+		return
+	}
+	for idx, p := range o.pages {
+		if idx < from {
+			continue
+		}
+		if p.Dirty {
+			delete(o.dirtyKeys, idx)
+			c.dirtyPages.Add(-1)
+		}
+		delete(o.pages, idx)
+		c.forget(pageKey{ino, idx})
+	}
+}
+
+// Drop removes an object entirely (lock fully released or invalidated).
+// Dirty pages are discarded — the caller is responsible for flushing
+// first when the protocol requires it.
+func (c *Cache) Drop(ino msg.ObjectID) {
+	if o := c.objects[ino]; o != nil {
+		c.dirtyPages.Add(-int64(len(o.dirtyKeys)))
+		for idx := range o.pages {
+			c.forget(pageKey{ino, idx})
+		}
+		delete(c.objects, ino)
+		c.invals.Inc()
+	}
+}
+
+// InvalidateAll empties the cache (lease expiry). Returns the number of
+// dirty pages discarded — nonzero means lost updates, which the paper's
+// protocol avoids by flushing in phase 4 before this is called.
+func (c *Cache) InvalidateAll() (discardedDirty int) {
+	for _, o := range c.objects {
+		discardedDirty += len(o.dirtyKeys)
+	}
+	c.dirtyPages.Add(-int64(discardedDirty))
+	c.invals.Add(uint64(len(c.objects)))
+	c.objects = make(map[msg.ObjectID]*Object)
+	c.lru.Init()
+	c.elems = make(map[pageKey]*list.Element)
+	return discardedDirty
+}
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.objects) }
+
+// ResidentPages returns the number of pages currently cached.
+func (c *Cache) ResidentPages() int { return c.lru.Len() }

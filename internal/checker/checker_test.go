@@ -1,0 +1,204 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+func newChecker() (*sim.Scheduler, *Checker) {
+	s := sim.NewScheduler(1)
+	return s, New(s)
+}
+
+func TestCleanHistoryNoViolations(t *testing.T) {
+	_, c := newChecker()
+	// Single writer, flush, then another client reads the committed data.
+	c.LockActive(1, 10, msg.LockExclusive)
+	v := c.NextVer(1, 10, 0)
+	c.Read(1, 10, 0, v) // own read sees own write
+	c.Committed(1, 10, 0, v)
+	c.LockInactive(1, 10)
+	c.LockActive(2, 10, msg.LockShared)
+	c.Read(2, 10, 0, v)
+	c.LockInactive(2, 10)
+	c.FinalCheck()
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("violations = %v", c.Violations())
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	_, c := newChecker()
+	v1 := c.NextVer(1, 10, 0)
+	c.Committed(1, 10, 0, v1)
+	c.NextVer(1, 10, 0) // v2 dirty in client 1's cache, never flushed
+	// Client 2 reads from disk and sees v1: stale.
+	c.Read(2, 10, 0, v1)
+	if c.Count(StaleRead) != 1 {
+		t.Fatalf("stale reads = %d, want 1: %v", c.Count(StaleRead), c.Violations())
+	}
+	// The writer itself is excused: its newer version lives in its own
+	// cache, so the oracle attributes no staleness to it.
+	c.Read(1, 10, 0, v1)
+	if c.Count(StaleRead) != 1 {
+		t.Fatal("writer's own-read must not be flagged")
+	}
+}
+
+func TestOwnNewerWritesNotStale(t *testing.T) {
+	_, c := newChecker()
+	v1 := c.NextVer(1, 10, 0)
+	c.Committed(1, 10, 0, v1)
+	v2 := c.NextVer(1, 10, 0) // dirty
+	c.Read(1, 10, 0, v2)      // reads own cache: newest
+	if c.Count(StaleRead) != 0 {
+		t.Fatalf("false positive: %v", c.Violations())
+	}
+	// Reader 2 sees v2 after flush: fine.
+	c.Committed(1, 10, 0, v2)
+	c.Read(2, 10, 0, v2)
+	if c.Count(StaleRead) != 0 {
+		t.Fatalf("false positive after flush: %v", c.Violations())
+	}
+}
+
+func TestReadOfNeverWrittenBlock(t *testing.T) {
+	_, c := newChecker()
+	c.Read(2, 10, 0, 0)
+	if len(c.Violations()) != 0 {
+		t.Fatal("reading a never-written block is not a violation")
+	}
+}
+
+func TestConcurrentConflictDetected(t *testing.T) {
+	_, c := newChecker()
+	// Naive steal: client 1 believes it holds exclusive; server granted
+	// client 2 exclusive too. Both write.
+	c.LockActive(1, 10, msg.LockExclusive)
+	c.LockActive(2, 10, msg.LockExclusive)
+	c.NextVer(1, 10, 0)
+	if c.Count(ConcurrentConflict) != 1 {
+		t.Fatalf("conflicts = %d, want 1", c.Count(ConcurrentConflict))
+	}
+	// Deduped: more ops between the same pair count once.
+	c.NextVer(2, 10, 1)
+	c.NextVer(1, 10, 2)
+	if c.Count(ConcurrentConflict) != 1 {
+		t.Fatalf("conflicts = %d, want deduped 1", c.Count(ConcurrentConflict))
+	}
+}
+
+func TestSharedReadersNoConflict(t *testing.T) {
+	_, c := newChecker()
+	c.LockActive(1, 10, msg.LockShared)
+	c.LockActive(2, 10, msg.LockShared)
+	c.Read(1, 10, 0, 0)
+	c.Read(2, 10, 0, 0)
+	if c.Count(ConcurrentConflict) != 0 {
+		t.Fatalf("false conflict: %v", c.Violations())
+	}
+}
+
+func TestReadWithoutLockAgainstExclusiveHolder(t *testing.T) {
+	_, c := newChecker()
+	// Fenced client 1 lost its lock (stolen) but still serves reads from
+	// cache: its window is gone, but client 2 now holds exclusive. The
+	// lockless read conflicts with the exclusive window.
+	c.LockActive(2, 10, msg.LockExclusive)
+	c.Read(1, 10, 0, 0)
+	if c.Count(ConcurrentConflict) != 1 {
+		t.Fatalf("conflicts = %d, want 1", c.Count(ConcurrentConflict))
+	}
+}
+
+func TestLockInactiveEndsWindow(t *testing.T) {
+	_, c := newChecker()
+	c.LockActive(1, 10, msg.LockExclusive)
+	c.NextVer(1, 10, 0)
+	c.LockInactive(1, 10)
+	c.LockActive(2, 10, msg.LockExclusive)
+	c.NextVer(2, 10, 0)
+	if c.Count(ConcurrentConflict) != 0 {
+		t.Fatalf("false conflict after release: %v", c.Violations())
+	}
+	// Downgrade to none via LockActive(None) also ends the window.
+	c.LockActive(2, 10, msg.LockNone)
+	c.LockActive(3, 10, msg.LockExclusive)
+	c.NextVer(3, 10, 0)
+	if c.Count(ConcurrentConflict) != 0 {
+		t.Fatalf("false conflict after downgrade: %v", c.Violations())
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	_, c := newChecker()
+	v1 := c.NextVer(1, 10, 0)
+	c.Committed(1, 10, 0, v1)
+	c.NextVer(1, 10, 0) // v2 stranded: fenced before flush
+	got := c.FinalCheck()
+	if len(got) != 1 || got[0].Kind != LostUpdate || got[0].Actor != 1 {
+		t.Fatalf("final = %v", got)
+	}
+	if c.Count(LostUpdate) != 1 {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestLostUpdateExcusedForCrashedClient(t *testing.T) {
+	_, c := newChecker()
+	c.NextVer(1, 10, 0) // dirty
+	c.ClientCrashed(1)  // the machine failed: volatile state gone, no guarantee
+	if got := c.FinalCheck(); len(got) != 0 {
+		t.Fatalf("crashed client's dirty data flagged: %v", got)
+	}
+}
+
+func TestLostUpdateSupersededBySameWriter(t *testing.T) {
+	_, c := newChecker()
+	c.NextVer(1, 10, 0)       // v1 dirty, overwritten in cache
+	v2 := c.NextVer(1, 10, 0) // v2 dirty
+	c.Committed(1, 10, 0, v2) // only the final content is flushed
+	if got := c.FinalCheck(); len(got) != 0 {
+		t.Fatalf("superseded write flagged: %v", got)
+	}
+}
+
+func TestCrashEndsWindows(t *testing.T) {
+	_, c := newChecker()
+	c.LockActive(1, 10, msg.LockExclusive)
+	c.ClientCrashed(1)
+	c.LockActive(2, 10, msg.LockExclusive)
+	c.NextVer(2, 10, 0)
+	if c.Count(ConcurrentConflict) != 0 {
+		t.Fatalf("crashed client's window still active: %v", c.Violations())
+	}
+}
+
+func TestNopOracle(t *testing.T) {
+	var o Oracle = Nop{}
+	if o.NextVer(1, 2, 3) != 0 {
+		t.Fatal("Nop.NextVer must return 0")
+	}
+	o.Committed(1, 2, 3, 4)
+	o.Read(1, 2, 3, 4)
+	o.LockActive(1, 2, msg.LockShared)
+	o.LockInactive(1, 2)
+	o.ClientCrashed(1)
+}
+
+func TestKindAndViolationStrings(t *testing.T) {
+	for k := StaleRead; k <= ConcurrentConflict; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if Kind(0).String() == "" {
+		t.Fatal("unknown kind must format")
+	}
+	v := Violation{Kind: StaleRead, Ino: 1, Block: 2, Actor: 3, Other: 4, Detail: "x"}
+	if v.String() == "" {
+		t.Fatal("violation must format")
+	}
+}

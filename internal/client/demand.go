@@ -1,0 +1,180 @@
+package client
+
+import "repro/internal/msg"
+
+// handleDemand answers a server-initiated lock demand (§1.2): the client
+// immediately acknowledges receipt at the transport level (proving it is
+// alive), then complies — flushing dirty data covered by the lock and
+// downgrading its cache — and finally reports completion with a
+// LockDowngraded request.
+//
+// Compliance is serialized per object: a demand arriving while an
+// earlier one is mid-compliance (its flush still in flight) is deferred,
+// coalesced to the strongest outstanding target. Without this, an
+// escalated →None compliance could finish before a slower →Shared one,
+// whose completion would then resurrect the lock and cache the client
+// had just given up.
+func (c *Client) handleDemand(m *msg.Demand) {
+	// The transport-level ack goes out unconditionally and immediately;
+	// its absence is what the server interprets as a delivery failure.
+	c.sendCtrl(m.Server, &msg.DemandAck{Client: c.id, ID: m.ID})
+	// Invalidate any lock grant currently in flight for this object: the
+	// server sent this demand with knowledge of every grant it has made,
+	// so a grant the client has not yet seen is covered by (and consumed
+	// by) this demand.
+	c.demandSeq[m.Ino]++
+
+	if c.demandBusy[m.Ino] {
+		if cur, ok := c.demandNext[m.Ino]; !ok || m.Mode < cur.Mode ||
+			(m.Mode == cur.Mode && m.ID > cur.ID) {
+			c.demandNext[m.Ino] = m
+		}
+		return
+	}
+	c.demandBusy[m.Ino] = true
+	c.runDemand(m)
+}
+
+// runDemand executes one demand while holding the object's compliance
+// slot.
+func (c *Client) runDemand(m *msg.Demand) {
+	held, ok := c.lockedInos[m.Ino]
+	if !ok || held <= m.Mode {
+		// Nothing to downgrade (already compliant, or a stale demand from
+		// before an expiry). Still report, so the server's lock table
+		// resolves its demand state.
+		c.downgradeBegin(m.Ino)
+		c.call(&msg.LockDowngraded{Ino: m.Ino, To: m.Mode, Demand: m.ID}, func(*msg.Reply) {
+			c.downgradeEnd(m.Ino)
+		})
+		c.finishDemand(m.Ino)
+		return
+	}
+	c.whenIdle(m.Ino, func() { c.complyDemand(m) })
+}
+
+// finishDemand releases the object's compliance slot and starts any
+// deferred (strongest-coalesced) demand.
+func (c *Client) finishDemand(ino msg.ObjectID) {
+	if next, ok := c.demandNext[ino]; ok {
+		delete(c.demandNext, ino)
+		c.runDemand(next)
+		return
+	}
+	delete(c.demandBusy, ino)
+}
+
+// complyDemand performs the flush + downgrade once in-flight operations
+// under the lock have drained. The whole revocation — flush, cache
+// adjustment, downgrade report — runs with the object's downgrade latch
+// held, so no new operation can slip a fresh dirty page in between the
+// flush and the downgrade.
+func (c *Client) complyDemand(m *msg.Demand) {
+	// Re-check: the world may have moved while this compliance waited for
+	// in-flight operations to drain — in particular the lease may have
+	// expired (clearing every lock) or a previous compliance may already
+	// have downgraded far enough. Proceeding would resurrect a lock the
+	// client no longer holds.
+	if held, ok := c.lockedInos[m.Ino]; !ok || held <= m.Mode {
+		c.downgradeBegin(m.Ino)
+		c.call(&msg.LockDowngraded{Ino: m.Ino, To: m.Mode, Demand: m.ID}, func(*msg.Reply) {
+			c.downgradeEnd(m.Ino)
+		})
+		c.finishDemand(m.Ino)
+		return
+	}
+	c.downgradeBegin(m.Ino)
+	c.flushObject(m.Ino, func() {
+		if m.Mode == msg.LockNone {
+			delete(c.lockedInos, m.Ino)
+			c.oracle.LockInactive(c.id, m.Ino)
+			c.cache.Drop(m.Ino)
+			delete(c.objExpiry, m.Ino)
+		} else {
+			c.lockedInos[m.Ino] = m.Mode
+			if o := c.cache.Object(m.Ino); o != nil {
+				o.Mode = m.Mode
+			}
+			c.oracle.LockActive(c.id, m.Ino, m.Mode)
+		}
+		c.call(&msg.LockDowngraded{Ino: m.Ino, To: m.Mode, Demand: m.ID}, func(*msg.Reply) {
+			c.downgradeEnd(m.Ino)
+		})
+		c.finishDemand(m.Ino)
+	})
+}
+
+// flushObject writes every dirty page of ino to the SAN and calls done
+// when the last write is acknowledged. done runs immediately when there
+// is nothing dirty.
+func (c *Client) flushObject(ino msg.ObjectID, done func()) {
+	dirty := c.cache.DirtyPages(ino)
+	o := c.cache.Object(ino)
+	if len(dirty) == 0 || o == nil || !o.HaveMap {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	remaining := 0
+	var finish func()
+	finish = func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	for _, idx := range dirty {
+		if idx >= uint64(len(o.Blocks)) {
+			continue // allocation lost; nothing safe to do
+		}
+		p := o.Page(idx)
+		if p == nil || !p.Dirty {
+			continue
+		}
+		remaining++
+		idx := idx
+		ref := o.Blocks[idx]
+		ver := p.Ver
+		data := append([]byte(nil), p.Data...)
+		c.sanCall(ref.Disk, func(req msg.ReqID) msg.Message {
+			return &msg.DiskWrite{Client: c.id, Req: req, Block: ref.Num, Data: data, Ver: ver}
+		}, func(reply msg.Message, errno msg.Errno) {
+			if errno == msg.OK {
+				// Only mark clean if the page was not re-dirtied with a
+				// newer version while the write was in flight.
+				if cur := c.cache.Object(ino); cur != nil {
+					if pg := cur.Page(idx); pg != nil && pg.Ver == ver {
+						c.cache.MarkClean(ino, idx)
+					}
+				}
+				c.oracle.Committed(c.id, ino, idx, ver)
+			}
+			finish()
+		})
+	}
+	if remaining == 0 && done != nil {
+		done()
+	}
+}
+
+// flushAll flushes every dirty object; done fires when all writes are
+// acknowledged (or immediately when the cache is clean).
+func (c *Client) flushAll(done func()) {
+	objs := c.cache.DirtyObjects()
+	if len(objs) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	remaining := len(objs)
+	for _, ino := range objs {
+		c.flushObject(ino, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}

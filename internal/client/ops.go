@@ -1,0 +1,568 @@
+package client
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/disk"
+	"repro/internal/msg"
+)
+
+// BlockSize re-exports the device block size: client reads and writes are
+// whole blocks addressed by index within the file.
+const BlockSize = disk.BlockSize
+
+// AttrCallback receives metadata results.
+type AttrCallback func(attr msg.Attr, errno msg.Errno)
+
+// DataCallback receives read results.
+type DataCallback func(data []byte, errno msg.Errno)
+
+// ErrnoCallback receives plain outcomes.
+type ErrnoCallback func(errno msg.Errno)
+
+// OpenCallback receives open results.
+type OpenCallback func(h msg.Handle, attr msg.Attr, errno msg.Errno)
+
+// DirCallback receives directory listings.
+type DirCallback func(entries []msg.DirEntry, errno msg.Errno)
+
+// begin gates a new operation and tracks in-flight counts. It returns
+// false (after failing the op) when the client must not service requests
+// (phase ≥ 3, unregistered, crashed): the paper's contract — a client
+// without a valid lease does not operate on data.
+func (c *Client) begin(fail func(errno msg.Errno)) bool {
+	if !c.admitted() {
+		c.staleEps.Inc()
+		fail(msg.ErrStale)
+		return false
+	}
+	c.inflight++
+	return true
+}
+
+// finish completes an operation.
+func (c *Client) finish(errno msg.Errno) {
+	c.inflight--
+	if errno == msg.OK {
+		c.opsOK.Inc()
+	} else {
+		c.opsFailed.Inc()
+	}
+}
+
+// errnoOf maps a channel outcome to an Errno.
+func errnoOf(r *msg.Reply) msg.Errno {
+	switch {
+	case r == nil:
+		return msg.ErrStale // cancelled: lease expired mid-operation
+	case r.Status == msg.NACK:
+		return msg.ErrStale
+	default:
+		return r.Err
+	}
+}
+
+// Lookup resolves a path.
+func (c *Client) Lookup(path string, cb AttrCallback) {
+	if !c.begin(func(e msg.Errno) { cb(msg.Attr{}, e) }) {
+		return
+	}
+	c.call(&msg.Lookup{Path: path}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		if errno != msg.OK {
+			cb(msg.Attr{}, errno)
+			return
+		}
+		cb(r.Body.(msg.LookupRes).Attr, msg.OK)
+	})
+}
+
+// Create makes a file or directory.
+func (c *Client) Create(path string, isDir bool, cb AttrCallback) {
+	if !c.begin(func(e msg.Errno) { cb(msg.Attr{}, e) }) {
+		return
+	}
+	c.call(&msg.Create{Path: path, IsDir: isDir}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		if errno != msg.OK {
+			cb(msg.Attr{}, errno)
+			return
+		}
+		cb(r.Body.(msg.CreateRes).Attr, msg.OK)
+	})
+}
+
+// Unlink removes a path.
+func (c *Client) Unlink(path string, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	c.call(&msg.Unlink{Path: path}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		cb(errno)
+	})
+}
+
+// Rename moves an object. The server refuses while data locks are held
+// on it (keep the rule uniform with Unlink).
+func (c *Client) Rename(oldPath, newPath string, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	c.call(&msg.Rename{OldPath: oldPath, NewPath: newPath}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		cb(errno)
+	})
+}
+
+// Truncate shrinks the file to nBlocks blocks. It requires the exclusive
+// lock (acquired here if not cached), drops the truncated tail from the
+// cache, and updates the cached block map from the server's reply.
+func (c *Client) Truncate(h msg.Handle, nBlocks uint32, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	info, ok := c.handles[h]
+	if !ok {
+		c.finish(msg.ErrBadHandle)
+		cb(msg.ErrBadHandle)
+		return
+	}
+	if !info.write {
+		c.finish(msg.ErrNotHolder)
+		cb(msg.ErrNotHolder)
+		return
+	}
+	c.ensureLock(info.ino, msg.LockExclusive, func(errno msg.Errno) {
+		if errno != msg.OK {
+			c.finish(errno)
+			cb(errno)
+			return
+		}
+		c.ioBegin(info.ino)
+		done := func(errno msg.Errno) {
+			c.ioEnd(info.ino)
+			c.finish(errno)
+			cb(errno)
+		}
+		c.call(&msg.Truncate{Ino: info.ino, Blocks: nBlocks}, func(r *msg.Reply) {
+			errno := errnoOf(r)
+			if errno != msg.OK {
+				done(errno)
+				return
+			}
+			res := r.Body.(msg.AttrRes)
+			o := c.cache.Ensure(info.ino)
+			// Drop truncated pages (dirty or clean — their blocks are
+			// returning to the allocator and must never be served again).
+			c.cache.DropPagesFrom(info.ino, uint64(nBlocks))
+			if uint64(len(o.Blocks)) > uint64(nBlocks) {
+				o.Blocks = o.Blocks[:nBlocks]
+			}
+			o.Attr = res.Attr
+			o.HaveAttr = true
+			done(msg.OK)
+		})
+	})
+}
+
+// Readdir lists a directory by inode.
+func (c *Client) Readdir(ino msg.ObjectID, cb DirCallback) {
+	if !c.begin(func(e msg.Errno) { cb(nil, e) }) {
+		return
+	}
+	c.call(&msg.Readdir{Ino: ino}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		if errno != msg.OK {
+			cb(nil, errno)
+			return
+		}
+		cb(r.Body.(msg.ReaddirRes).Entries, msg.OK)
+	})
+}
+
+// Stat fetches attributes by inode.
+func (c *Client) Stat(ino msg.ObjectID, cb AttrCallback) {
+	if !c.begin(func(e msg.Errno) { cb(msg.Attr{}, e) }) {
+		return
+	}
+	c.call(&msg.GetAttr{Ino: ino}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		if errno != msg.OK {
+			cb(msg.Attr{}, errno)
+			return
+		}
+		cb(r.Body.(msg.AttrRes).Attr, msg.OK)
+	})
+}
+
+// Open resolves a path and opens it, creating the file when create is
+// set.
+func (c *Client) Open(path string, write, create bool, cb OpenCallback) {
+	if !c.begin(func(e msg.Errno) { cb(0, msg.Attr{}, e) }) {
+		return
+	}
+	c.call(&msg.Lookup{Path: path}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		switch {
+		case errno == msg.OK:
+			c.openIno(r.Body.(msg.LookupRes).Attr.Ino, write, cb)
+		case errno == msg.ErrNoEnt && create:
+			c.call(&msg.Create{Path: path, IsDir: false}, func(r2 *msg.Reply) {
+				errno2 := errnoOf(r2)
+				if errno2 != msg.OK && errno2 != msg.ErrExist {
+					c.finish(errno2)
+					cb(0, msg.Attr{}, errno2)
+					return
+				}
+				if errno2 == msg.ErrExist {
+					// Lost a create race; open via lookup again.
+					c.call(&msg.Lookup{Path: path}, func(r3 *msg.Reply) {
+						errno3 := errnoOf(r3)
+						if errno3 != msg.OK {
+							c.finish(errno3)
+							cb(0, msg.Attr{}, errno3)
+							return
+						}
+						c.openIno(r3.Body.(msg.LookupRes).Attr.Ino, write, cb)
+					})
+					return
+				}
+				c.openIno(r2.Body.(msg.CreateRes).Attr.Ino, write, cb)
+			})
+		default:
+			c.finish(errno)
+			cb(0, msg.Attr{}, errno)
+		}
+	})
+}
+
+// openIno finishes an Open once the inode is known.
+func (c *Client) openIno(ino msg.ObjectID, write bool, cb OpenCallback) {
+	c.call(&msg.Open{Ino: ino, Write: write}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		if errno != msg.OK {
+			cb(0, msg.Attr{}, errno)
+			return
+		}
+		res := r.Body.(msg.OpenRes)
+		c.handles[res.Handle] = handleInfo{ino: ino, write: write}
+		o := c.cache.Ensure(ino)
+		o.Attr = res.Attr
+		o.HaveAttr = true
+		cb(res.Handle, res.Attr, msg.OK)
+	})
+}
+
+// Close releases an open instance. Cached data and locks are kept — data
+// locks outlive opens; that is the point of lock caching.
+func (c *Client) Close(h msg.Handle, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	info, ok := c.handles[h]
+	if !ok {
+		c.finish(msg.ErrBadHandle)
+		cb(msg.ErrBadHandle)
+		return
+	}
+	delete(c.handles, h)
+	_ = info
+	c.call(&msg.Close{Ino: info.ino, Handle: h}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		c.finish(errno)
+		cb(errno)
+	})
+}
+
+// Read returns the file block at index idx. The fast path — lock cached,
+// map cached, page cached — completes synchronously with zero messages.
+func (c *Client) Read(h msg.Handle, idx uint64, cb DataCallback) {
+	if !c.begin(func(e msg.Errno) { cb(nil, e) }) {
+		return
+	}
+	info, ok := c.handles[h]
+	if !ok {
+		c.finish(msg.ErrBadHandle)
+		cb(nil, msg.ErrBadHandle)
+		return
+	}
+	c.reads.Inc()
+	if c.cfg.Policy.Data == baselines.DataFunctionShip {
+		c.funcShipRead(info.ino, idx, cb)
+		return
+	}
+	if c.cfg.Policy.DLock {
+		c.dlockRead(info.ino, idx, cb)
+		return
+	}
+	c.ensureLock(info.ino, msg.LockShared, func(errno msg.Errno) {
+		if errno != msg.OK {
+			c.finish(errno)
+			cb(nil, errno)
+			return
+		}
+		// Hold the lock pinned (drain-before-downgrade) for the rest of
+		// the operation.
+		c.ioBegin(info.ino)
+		done := func(data []byte, errno msg.Errno) {
+			c.ioEnd(info.ino)
+			c.finish(errno)
+			cb(data, errno)
+		}
+		c.ensureMap(info.ino, func(errno msg.Errno) {
+			if errno != msg.OK {
+				done(nil, errno)
+				return
+			}
+			c.readBlock(info.ino, idx, done)
+		})
+	})
+}
+
+// readBlock serves one block from cache or the SAN.
+func (c *Client) readBlock(ino msg.ObjectID, idx uint64, done DataCallback) {
+	if p := c.cache.Lookup(ino, idx); p != nil {
+		c.oracle.Read(c.id, ino, idx, p.Ver)
+		done(append([]byte(nil), p.Data...), msg.OK)
+		return
+	}
+	o := c.cache.Object(ino)
+	if o == nil || idx >= uint64(len(o.Blocks)) {
+		// Unallocated block: zeros (a hole).
+		c.oracle.Read(c.id, ino, idx, 0)
+		done(make([]byte, BlockSize), msg.OK)
+		return
+	}
+	ref := o.Blocks[idx]
+	c.sanCall(ref.Disk, func(req msg.ReqID) msg.Message {
+		return &msg.DiskRead{Client: c.id, Req: req, Block: ref.Num}
+	}, func(reply msg.Message, errno msg.Errno) {
+		if errno != msg.OK || reply == nil {
+			done(nil, errno)
+			return
+		}
+		res := reply.(*msg.DiskReadRes)
+		c.cache.Fill(ino, idx, res.Data, res.Ver)
+		c.oracle.Read(c.id, ino, idx, res.Ver)
+		done(append([]byte(nil), res.Data...), msg.OK)
+	})
+}
+
+// Write stores a whole block at index idx into the write-back cache. It
+// completes as soon as the data is cached under an exclusive lock; the
+// data reaches the SAN on demand, periodic flush, or lease phase 4.
+func (c *Client) Write(h msg.Handle, idx uint64, data []byte, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	info, ok := c.handles[h]
+	if !ok {
+		c.finish(msg.ErrBadHandle)
+		cb(msg.ErrBadHandle)
+		return
+	}
+	if !info.write {
+		c.finish(msg.ErrNotHolder)
+		cb(msg.ErrNotHolder)
+		return
+	}
+	if len(data) > BlockSize {
+		c.finish(msg.ErrRange)
+		cb(msg.ErrRange)
+		return
+	}
+	c.writes.Inc()
+	if c.cfg.Policy.Data == baselines.DataFunctionShip {
+		c.funcShipWrite(info.ino, idx, data, cb)
+		return
+	}
+	if c.cfg.Policy.DLock {
+		c.dlockWrite(info.ino, idx, data, cb)
+		return
+	}
+	c.ensureLock(info.ino, msg.LockExclusive, func(errno msg.Errno) {
+		if errno != msg.OK {
+			c.finish(errno)
+			cb(errno)
+			return
+		}
+		c.ioBegin(info.ino)
+		done := func(errno msg.Errno) {
+			c.ioEnd(info.ino)
+			c.finish(errno)
+			cb(errno)
+		}
+		c.ensureMap(info.ino, func(errno msg.Errno) {
+			if errno != msg.OK {
+				done(errno)
+				return
+			}
+			c.ensureAlloc(info.ino, idx, func(errno msg.Errno) {
+				if errno != msg.OK {
+					done(errno)
+					return
+				}
+				ver := c.oracle.NextVer(c.id, info.ino, idx)
+				c.cache.Write(info.ino, idx, data, ver)
+				c.maybeExtend(info.ino, idx, len(data))
+				done(msg.OK)
+			})
+		})
+	})
+}
+
+// maybeExtend pushes the server's size metadata forward after a write
+// past the current end of file.
+func (c *Client) maybeExtend(ino msg.ObjectID, idx uint64, n int) {
+	o := c.cache.Object(ino)
+	end := idx*BlockSize + uint64(n)
+	if o == nil || !o.HaveAttr || end <= o.Attr.Size {
+		return
+	}
+	o.Attr.Size = end
+	c.call(&msg.SetAttr{Ino: ino, NewSize: end}, nil)
+}
+
+// Sync flushes all dirty data and completes when everything is on disk.
+func (c *Client) Sync(cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	c.flushAll(func() {
+		c.finish(msg.OK)
+		cb(msg.OK)
+	})
+}
+
+// ensureLock acquires (or upgrades to) mode on ino, using the cached lock
+// when it covers the request.
+func (c *Client) ensureLock(ino msg.ObjectID, mode msg.LockMode, cb ErrnoCallback) {
+	// Gate: deferred acquires (below) can fire from teardown paths; an
+	// op whose client is quiescing, expired, or mid-recovery must fail
+	// rather than emit a lock request the current lease cannot cover.
+	if !c.admitted() {
+		cb(msg.ErrStale)
+		return
+	}
+	// Order every lock use behind any in-flight downgrade of this
+	// object. This covers two hazards at once: a fresh acquire must not
+	// overtake the downgrade on the wire, and a cached-lock fast path
+	// must not start new work (in particular, dirty new pages) while a
+	// revocation is between its flush and its downgrade report.
+	if c.downgrading[ino] > 0 {
+		c.afterDowngrades(ino, func() { c.ensureLock(ino, mode, cb) })
+		return
+	}
+	if held := c.lockedInos[ino]; held.Covers(mode) {
+		c.vLeaseCheck(ino, cb)
+		return
+	}
+	seq := c.demandSeq[ino]
+	epoch := c.chn.Epoch()
+	c.call(&msg.LockAcquire{Ino: ino, Mode: mode}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		if errno != msg.OK {
+			cb(errno)
+			return
+		}
+		if c.chn.Epoch() != epoch {
+			// The grant belongs to a previous registration: the server
+			// rebuilt its state (our rejoin stole everything) after
+			// executing this request. The lock no longer exists.
+			cb(msg.ErrStale)
+			return
+		}
+		if c.demandSeq[ino] != seq {
+			// A demand crossed this grant on the wire: the server issued
+			// the demand after making the grant, and our compliance reply
+			// told it the grant is relinquished. Applying the grant now
+			// would fabricate a lock two clients believe they hold; ask
+			// again instead.
+			c.ensureLock(ino, mode, cb)
+			return
+		}
+		granted := r.Body.(msg.LockRes).Mode
+		if cur := c.lockedInos[ino]; granted > cur {
+			c.lockedInos[ino] = granted
+			c.cache.Ensure(ino).Mode = granted
+			c.oracle.LockActive(c.id, ino, granted)
+		}
+		c.vLeaseNote(ino)
+		cb(msg.OK)
+	})
+}
+
+// ensureMap fetches the block map if not cached.
+func (c *Client) ensureMap(ino msg.ObjectID, cb ErrnoCallback) {
+	o := c.cache.Ensure(ino)
+	if o.HaveMap {
+		cb(msg.OK)
+		return
+	}
+	c.call(&msg.GetBlocks{Ino: ino}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		if errno != msg.OK {
+			cb(errno)
+			return
+		}
+		res := r.Body.(msg.BlocksRes)
+		o := c.cache.Ensure(ino)
+		o.Blocks = res.Blocks
+		o.Attr = res.Attr
+		o.HaveMap = true
+		o.HaveAttr = true
+		cb(msg.OK)
+	})
+}
+
+// ensureAlloc extends the file's allocation to cover block idx.
+func (c *Client) ensureAlloc(ino msg.ObjectID, idx uint64, cb ErrnoCallback) {
+	o := c.cache.Ensure(ino)
+	if idx < uint64(len(o.Blocks)) {
+		cb(msg.OK)
+		return
+	}
+	need := uint32(idx + 1 - uint64(len(o.Blocks)))
+	c.call(&msg.AllocBlocks{Ino: ino, Count: need}, func(r *msg.Reply) {
+		errno := errnoOf(r)
+		if errno != msg.OK {
+			cb(errno)
+			return
+		}
+		res := r.Body.(msg.AllocRes)
+		o := c.cache.Ensure(ino)
+		o.Blocks = res.Blocks
+		o.Attr = res.Attr
+		o.HaveMap = true
+		o.HaveAttr = true
+		cb(msg.OK)
+	})
+}
+
+// ReleaseLock voluntarily gives a data lock back (used by workloads that
+// model cache pressure).
+func (c *Client) ReleaseLock(ino msg.ObjectID, cb ErrnoCallback) {
+	if !c.begin(func(e msg.Errno) { cb(e) }) {
+		return
+	}
+	c.flushObject(ino, func() {
+		delete(c.lockedInos, ino)
+		c.oracle.LockInactive(c.id, ino)
+		c.cache.Drop(ino)
+		delete(c.objExpiry, ino)
+		c.downgradeBegin(ino)
+		c.call(&msg.LockRelease{Ino: ino, To: msg.LockNone}, func(r *msg.Reply) {
+			c.downgradeEnd(ino)
+			errno := errnoOf(r)
+			c.finish(errno)
+			cb(errno)
+		})
+	})
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AuthorityActions is how the passive lease authority drives its owner
+// (the metadata server) when a lease times out.
+type AuthorityActions interface {
+	// StealLocks is called when the timeout τ(1+ε) elapses: the client's
+	// lease has provably expired on its own clock, so its locks may be
+	// stolen and redistributed. The owner also erects the fence here
+	// (§6: fencing backs up the lease against rate-desynchronized
+	// "slow" computers).
+	StealLocks(client msg.NodeID)
+}
+
+// suspectState tracks one client the server has observed a delivery
+// failure for. This struct existing at all is the exception: during
+// normal operation the Authority holds no per-client state whatsoever.
+type suspectState struct {
+	timer   sim.Timer
+	expired bool // timer fired; locks stolen; waiting for Rejoin
+}
+
+// suspectStateBytes approximates the authority's per-suspect memory cost,
+// reported by the server-state experiments (T1).
+const suspectStateBytes = 48
+
+// Authority is the server half of the protocol (§3). Its key property is
+// passivity: it keeps no lease state, performs no lease computation, and
+// sends no lease messages while all clients are reachable. The server
+// calls:
+//
+//   - Allow(client) on every incoming request — a map lookup in an empty
+//     map during normal operation — to decide ACK vs NACK;
+//   - OnDeliveryFailure(client) when a server-initiated message (a
+//     Demand) goes unacknowledged through its retries;
+//   - OnRejoin(client) when a recovering client re-registers.
+type Authority struct {
+	cfg      Config
+	clock    sim.Clock
+	act      AuthorityActions
+	suspects map[msg.NodeID]*suspectState
+
+	// Instrumentation: ops counts every lease-specific action the server
+	// performs; stateBytes gauges lease memory. Both stay at zero during
+	// failure-free runs — that is the paper's headline claim and
+	// experiment T1 reads these exact counters.
+	ops        *stats.Counter
+	stateBytes *stats.Gauge
+	timeouts   *stats.Counter
+	steals     *stats.Counter
+}
+
+// NewAuthority creates a passive authority.
+func NewAuthority(cfg Config, clock sim.Clock, act AuthorityActions, reg *stats.Registry, prefix string) *Authority {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	return &Authority{
+		cfg:        cfg,
+		clock:      clock,
+		act:        act,
+		suspects:   make(map[msg.NodeID]*suspectState),
+		ops:        reg.Counter(prefix + "authority.ops"),
+		stateBytes: reg.Gauge(prefix + "authority.state_bytes"),
+		timeouts:   reg.Counter(prefix + "authority.timeouts_started"),
+		steals:     reg.Counter(prefix + "authority.locks_stolen"),
+	}
+}
+
+// Allow reports whether the server may ACK (and execute) a request from
+// client. It is false from the moment a lease timeout starts until the
+// client rejoins: §3 — "we require the server not to ACK messages if it
+// has already started a counter to expire client locks", and §3.3 — the
+// server NACKs valid requests from suspect clients so they enter recovery
+// immediately instead of wasting retries.
+func (a *Authority) Allow(client msg.NodeID) bool {
+	if len(a.suspects) == 0 {
+		return true // the entire protocol cost during normal operation
+	}
+	_, suspect := a.suspects[client]
+	return !suspect
+}
+
+// OnDeliveryFailure reports that a message requiring an ACK went
+// unacknowledged after retries. The authority starts the τ(1+ε) timer —
+// measured on the server's clock — after which the client's own lease,
+// which began no later than this instant, must have expired (Thm 3.1).
+// Repeated failures for the same client are idempotent.
+func (a *Authority) OnDeliveryFailure(client msg.NodeID) {
+	if _, ok := a.suspects[client]; ok {
+		return
+	}
+	a.ops.Inc()
+	a.timeouts.Inc()
+	st := &suspectState{}
+	a.suspects[client] = st
+	a.stateBytes.Set(int64(len(a.suspects)) * suspectStateBytes)
+	st.timer = a.clock.AfterFunc(a.cfg.StealDelay(), func() {
+		a.ops.Inc()
+		a.steals.Inc()
+		st.expired = true
+		st.timer = nil
+		a.act.StealLocks(client)
+	})
+}
+
+// OnRejoin processes a recovering client's re-registration and reports
+// whether the rejoin is accepted. A Rejoin declares that the client has
+// completed its lease recovery: its cache is discarded and it claims no
+// locks. If the steal timer is still running, the declaration makes the
+// steal safe immediately — the authority cancels the timer and steals
+// now. Rejoin of a client in good standing is also accepted (fresh boot).
+func (a *Authority) OnRejoin(client msg.NodeID) bool {
+	st, ok := a.suspects[client]
+	if !ok {
+		return true
+	}
+	a.ops.Inc()
+	if st.timer != nil {
+		st.timer.Stop()
+		// The client itself told us it holds nothing: steal/cleanup now.
+		a.ops.Inc()
+		a.steals.Inc()
+		a.act.StealLocks(client)
+	}
+	delete(a.suspects, client)
+	a.stateBytes.Set(int64(len(a.suspects)) * suspectStateBytes)
+	return true
+}
+
+// Suspect reports whether client is currently suspect or expired.
+func (a *Authority) Suspect(client msg.NodeID) bool {
+	_, ok := a.suspects[client]
+	return ok
+}
+
+// Expired reports whether the client's lease timed out and its locks were
+// stolen (it must Rejoin).
+func (a *Authority) Expired(client msg.NodeID) bool {
+	st, ok := a.suspects[client]
+	return ok && st.expired
+}
+
+// SuspectCount returns the number of clients with live lease state — zero
+// whenever the installation is healthy.
+func (a *Authority) SuspectCount() int { return len(a.suspects) }
+
+// StateBytes returns the authority's current lease-state memory.
+func (a *Authority) StateBytes() int64 { return int64(len(a.suspects)) * suspectStateBytes }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+type stealRec struct {
+	s      *sim.Scheduler
+	steals []struct {
+		client msg.NodeID
+		at     sim.Time
+	}
+}
+
+func (r *stealRec) StealLocks(client msg.NodeID) {
+	r.steals = append(r.steals, struct {
+		client msg.NodeID
+		at     sim.Time
+	}{client, r.s.Now()})
+}
+
+func newAuthority(t *testing.T, cfg Config, rate float64) (*sim.Scheduler, *stealRec, *Authority, *stats.Registry) {
+	t.Helper()
+	s := sim.NewScheduler(11)
+	rec := &stealRec{s: s}
+	reg := stats.NewRegistry()
+	a := NewAuthority(cfg, s.NewClock(rate, 0), rec, reg, "srv.")
+	return s, rec, a, reg
+}
+
+func TestPassivityDuringNormalOperation(t *testing.T) {
+	_, _, a, reg := newAuthority(t, testCfg(), 1)
+	// The headline claim: thousands of requests, zero lease state, zero
+	// lease operations, zero lease memory at the authority.
+	for i := 0; i < 10000; i++ {
+		if !a.Allow(msg.NodeID(i%50 + 2)) {
+			t.Fatal("healthy client refused")
+		}
+	}
+	if reg.CounterValue("srv.authority.ops") != 0 {
+		t.Fatal("authority performed lease ops during normal operation")
+	}
+	if a.StateBytes() != 0 || a.SuspectCount() != 0 {
+		t.Fatal("authority held lease state during normal operation")
+	}
+}
+
+func TestTimeoutStealsAfterStretchedTau(t *testing.T) {
+	cfg := testCfg() // τ=10s, ε=0.05
+	s, rec, a, reg := newAuthority(t, cfg, 1)
+	s.At(sim.Time(2*time.Second), func() { a.OnDeliveryFailure(7) })
+	s.Run()
+	want := sim.Time(2 * time.Second).Add(cfg.StealDelay()) // 2s + 10.5s
+	if len(rec.steals) != 1 || rec.steals[0].at != want || rec.steals[0].client != 7 {
+		t.Fatalf("steals = %+v, want client 7 at %v", rec.steals, want)
+	}
+	if !a.Expired(7) || !a.Suspect(7) {
+		t.Fatal("client not marked expired")
+	}
+	if a.Allow(7) {
+		t.Fatal("expired client allowed")
+	}
+	if reg.CounterValue("srv.authority.locks_stolen") != 1 {
+		t.Fatal("steal counter wrong")
+	}
+}
+
+func TestNoACKWhileTimingOut(t *testing.T) {
+	s, _, a, _ := newAuthority(t, testCfg(), 1)
+	a.OnDeliveryFailure(7)
+	if a.Allow(7) {
+		t.Fatal("server must not ACK a client it is timing out (§3)")
+	}
+	if !a.Allow(8) {
+		t.Fatal("other clients unaffected")
+	}
+	s.Run()
+	if a.Allow(7) {
+		t.Fatal("server must not ACK an expired client until rejoin")
+	}
+}
+
+func TestDeliveryFailureIdempotent(t *testing.T) {
+	s, rec, a, reg := newAuthority(t, testCfg(), 1)
+	a.OnDeliveryFailure(7)
+	s.RunFor(time.Second)
+	a.OnDeliveryFailure(7) // second demand also failed; must not reset timer
+	s.Run()
+	if len(rec.steals) != 1 {
+		t.Fatalf("steals = %d, want 1", len(rec.steals))
+	}
+	if reg.CounterValue("srv.authority.timeouts_started") != 1 {
+		t.Fatal("timeout started twice")
+	}
+}
+
+func TestRejoinAfterExpiryClearsState(t *testing.T) {
+	s, _, a, _ := newAuthority(t, testCfg(), 1)
+	a.OnDeliveryFailure(7)
+	s.Run()
+	if !a.OnRejoin(7) {
+		t.Fatal("rejoin refused")
+	}
+	if a.Suspect(7) || !a.Allow(7) {
+		t.Fatal("state not cleared on rejoin")
+	}
+	if a.StateBytes() != 0 {
+		t.Fatal("lease memory not released")
+	}
+}
+
+func TestEarlyRejoinCancelsTimerAndStealsNow(t *testing.T) {
+	cfg := testCfg()
+	s, rec, a, _ := newAuthority(t, cfg, 1)
+	a.OnDeliveryFailure(7)
+	// The client recovers quickly (its own lease expired on its clock)
+	// and rejoins before the server's τ(1+ε) elapses.
+	s.At(sim.Time(3*time.Second), func() {
+		if !a.OnRejoin(7) {
+			t.Error("early rejoin refused")
+		}
+	})
+	s.Run()
+	if len(rec.steals) != 1 || rec.steals[0].at != sim.Time(3*time.Second) {
+		t.Fatalf("steals = %+v, want immediate steal at rejoin", rec.steals)
+	}
+	if a.Suspect(7) {
+		t.Fatal("suspect state survived rejoin")
+	}
+}
+
+func TestRejoinOfHealthyClientAccepted(t *testing.T) {
+	_, rec, a, _ := newAuthority(t, testCfg(), 1)
+	if !a.OnRejoin(42) {
+		t.Fatal("fresh-boot rejoin refused")
+	}
+	if len(rec.steals) != 0 {
+		t.Fatal("rejoin of healthy client stole locks")
+	}
+}
+
+// TestTheorem31Property is the paper's Theorem 3.1 as an executable
+// property: for any pair of rate-synchronized clocks (pairwise ratio
+// ≤ 1+ε), any lease obtained from a message sent at tC1 expires on the
+// client's clock no later than the server's steal, which happens
+// τ(1+ε) on the server's clock after a failure observed at tS2 ≥ tC1.
+func TestTheorem31Property(t *testing.T) {
+	const eps = 0.05
+	f := func(seed int64, tauMs uint16, gapMs uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := time.Duration(int64(tauMs)+10) * time.Millisecond
+		// Draw pairwise-valid rates: base in [0.8, 1.2], spread within
+		// sqrt(1+eps) of base in each direction.
+		base := 0.8 + 0.4*rng.Float64()
+		spread := 1 + eps
+		rc := base * (1 + (rng.Float64()-0.5)*(spread-1)/spread)
+		rs := base * (1 + (rng.Float64()-0.5)*(spread-1)/spread)
+		if !(sim.RateBound{Eps: eps}).Valid(rc, rs) {
+			return true // outside the assumption; skip
+		}
+
+		s := sim.NewScheduler(seed)
+		clientClock := s.NewClock(rc, 0)
+		serverClock := s.NewClock(rs, 0)
+
+		cfg := testCfg()
+		cfg.Tau = tau
+		cfg.Bound = sim.RateBound{Eps: eps}
+
+		rec := &actionsRec{s: s, autoFlush: true}
+		lease := NewLeaseClient(cfg, clientClock, rec, nil, "")
+		srec := &stealRec{s: s}
+		auth := NewAuthority(cfg, serverClock, srec, nil, "")
+
+		// tC1: client sends a message now (global time 0) and it is
+		// eventually ACKed. The server observes a delivery failure at
+		// global gap ≥ 0 later (tS2 is necessarily ≥ the client's send).
+		lease.Renewed(clientClock.Now())
+		s.After(time.Duration(gapMs)*time.Microsecond, func() {
+			auth.OnDeliveryFailure(3)
+		})
+		s.Run()
+
+		if len(rec.expiries) != 1 || len(srec.steals) != 1 {
+			return false
+		}
+		// THE invariant: client lease expiry precedes (or ties) the steal
+		// in global time.
+		return !rec.expiries[0].After(srec.steals[0].at)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem31ViolatedOutsideBound shows the assumption is load-bearing:
+// with clock rates beyond ε the steal can precede the client's expiry —
+// the failure mode §6 addresses with fencing.
+func TestTheorem31ViolatedOutsideBound(t *testing.T) {
+	const eps = 0.05
+	// Client clock much slower than server clock: client's τ takes longer
+	// in global time than the server's stretched wait.
+	rc, rs := 0.80, 1.20
+
+	s := sim.NewScheduler(1)
+	cfg := testCfg()
+	cfg.Bound = sim.RateBound{Eps: eps}
+	rec := &actionsRec{s: s, autoFlush: true}
+	lease := NewLeaseClient(cfg, s.NewClock(rc, 0), rec, nil, "")
+	srec := &stealRec{s: s}
+	auth := NewAuthority(cfg, s.NewClock(rs, 0), srec, nil, "")
+
+	lease.Renewed(0)
+	auth.OnDeliveryFailure(3)
+	s.Run()
+
+	if len(rec.expiries) != 1 || len(srec.steals) != 1 {
+		t.Fatal("scenario did not complete")
+	}
+	if !srec.steals[0].at.Before(rec.expiries[0]) {
+		t.Fatal("expected a violation: steal should precede client expiry outside the rate bound")
+	}
+}

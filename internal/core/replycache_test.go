@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+func TestReplyCacheExecuteOnce(t *testing.T) {
+	reg := stats.NewRegistry()
+	rc := NewReplyCache(8, reg, "srv.")
+	d, r := rc.Admit(3, 1)
+	if d != Execute || r != nil {
+		t.Fatalf("first admit = %v", d)
+	}
+	if !rc.InFlight(3, 1) {
+		t.Fatal("not marked in-flight")
+	}
+	// Duplicate while executing: absorb.
+	d, _ = rc.Admit(3, 1)
+	if d != Absorb {
+		t.Fatalf("duplicate-in-flight = %v, want Absorb", d)
+	}
+	reply := &msg.Reply{Client: 3, Req: 1, Status: msg.ACK}
+	rc.Complete(3, 1, reply)
+	if rc.InFlight(3, 1) {
+		t.Fatal("still in-flight after Complete")
+	}
+	// Duplicate after completion: resend cached reply.
+	d, r = rc.Admit(3, 1)
+	if d != Resend || r != reply {
+		t.Fatalf("duplicate-after-done = %v %v", d, r)
+	}
+	if reg.CounterValue("srv.replycache.duplicates") != 2 {
+		t.Fatal("duplicate counter wrong")
+	}
+}
+
+func TestReplyCachePerClientIsolation(t *testing.T) {
+	rc := NewReplyCache(8, nil, "")
+	rc.Admit(3, 1)
+	rc.Complete(3, 1, &msg.Reply{Req: 1})
+	// Same ReqID from a different client is independent.
+	d, _ := rc.Admit(4, 1)
+	if d != Execute {
+		t.Fatalf("cross-client admit = %v", d)
+	}
+}
+
+func TestReplyCacheEviction(t *testing.T) {
+	rc := NewReplyCache(2, nil, "")
+	for id := msg.ReqID(1); id <= 3; id++ {
+		rc.Admit(3, id)
+		rc.Complete(3, id, &msg.Reply{Req: id})
+	}
+	// Oldest (1) evicted: re-admitting executes again. This is acceptable
+	// because the client only retries its most recent requests.
+	if d, _ := rc.Admit(3, 1); d != Execute {
+		t.Fatalf("evicted admit = %v, want Execute", d)
+	}
+	if d, _ := rc.Admit(3, 3); d != Resend {
+		t.Fatalf("recent admit = %v, want Resend", d)
+	}
+}
+
+func TestReplyCacheForget(t *testing.T) {
+	rc := NewReplyCache(8, nil, "")
+	rc.Admit(3, 1)
+	rc.Complete(3, 1, &msg.Reply{Req: 1})
+	rc.Forget(3)
+	if d, _ := rc.Admit(3, 1); d != Execute {
+		t.Fatal("state survived Forget")
+	}
+	if rc.InFlight(9, 1) {
+		t.Fatal("unknown client reported in-flight")
+	}
+}
+
+func TestReplyCacheMinimumKeep(t *testing.T) {
+	rc := NewReplyCache(0, nil, "") // clamps to 1
+	rc.Admit(3, 1)
+	rc.Complete(3, 1, &msg.Reply{Req: 1})
+	if d, _ := rc.Admit(3, 1); d != Resend {
+		t.Fatal("keep=1 did not retain the last reply")
+	}
+}

@@ -1,0 +1,282 @@
+// Package disk implements the shared storage devices on the SAN. Per the
+// paper (§2), the devices are deliberately dumb: they execute block reads
+// and writes for any initiator, enforce a fence table on behalf of the
+// servers, and — solely for the GFS comparison baseline — implement
+// dlock, an expiring lock over a disk-address range. They keep no network
+// views, run no membership protocol, and never initiate messages.
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// BlockSize is the data block size used throughout the installation.
+const BlockSize = 4096
+
+// Sender transmits a message on the SAN.
+type Sender func(to msg.NodeID, m msg.Message)
+
+// Observer lets the consistency oracle watch data movement. All fields
+// are optional. The Ver stamps are oracle metadata that rides along with
+// block data; the protocol itself never reads them.
+type Observer struct {
+	// Committed fires when a write reaches stable storage.
+	Committed func(disk msg.NodeID, block uint64, ver uint64, writer msg.NodeID)
+	// Served fires when a read returns data.
+	Served func(disk msg.NodeID, block uint64, ver uint64, reader msg.NodeID)
+	// Rejected fires when a fenced initiator's I/O is refused.
+	Rejected func(disk msg.NodeID, initiator msg.NodeID)
+}
+
+// Config sizes and times a disk.
+type Config struct {
+	// Blocks is the device capacity in blocks.
+	Blocks uint64
+	// ServiceTime is the per-operation latency added before the reply is
+	// sent (seek+transfer, measured on the disk's own clock).
+	ServiceTime time.Duration
+}
+
+// DefaultConfig returns a small, fast disk suitable for simulation.
+func DefaultConfig() Config {
+	return Config{Blocks: 1 << 16, ServiceTime: 100 * time.Microsecond}
+}
+
+type dlock struct {
+	start, count uint64
+	owner        msg.NodeID
+	expires      sim.Time // on the disk's clock
+}
+
+func (l dlock) overlaps(start uint64, count uint32) bool {
+	return start < l.start+l.count && l.start < start+uint64(count)
+}
+
+// Disk is one SAN block device.
+type Disk struct {
+	id    msg.NodeID
+	cfg   Config
+	clock sim.Clock
+	send  Sender
+	obs   Observer
+
+	data   map[uint64][]byte
+	vers   map[uint64]uint64
+	fenced map[msg.NodeID]bool
+	dlocks []dlock
+
+	// busyUntil serializes media operations: a single actuator services
+	// one request at a time, so concurrent requests queue (local clock).
+	busyUntil sim.Time
+
+	reads, writes, fencedOps *stats.Counter
+	queueWait                *stats.Histogram
+}
+
+// New creates a disk. send transmits replies on the SAN; reg records the
+// disk's operation counters (may be nil).
+func New(id msg.NodeID, cfg Config, clock sim.Clock, send Sender, reg *stats.Registry, obs Observer) *Disk {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	prefix := fmt.Sprintf("disk.%v.", id)
+	return &Disk{
+		id:        id,
+		cfg:       cfg,
+		clock:     clock,
+		send:      send,
+		obs:       obs,
+		data:      make(map[uint64][]byte),
+		vers:      make(map[uint64]uint64),
+		fenced:    make(map[msg.NodeID]bool),
+		reads:     reg.Counter(prefix + "reads"),
+		writes:    reg.Counter(prefix + "writes"),
+		fencedOps: reg.Counter(prefix + "rejected"),
+		queueWait: reg.Histogram(prefix + "queue_wait"),
+	}
+}
+
+// ID returns the disk's node ID.
+func (d *Disk) ID() msg.NodeID { return d.id }
+
+// Capacity returns the number of blocks.
+func (d *Disk) Capacity() uint64 { return d.cfg.Blocks }
+
+// Deliver handles one SAN datagram. It is the disk's network handler.
+func (d *Disk) Deliver(env msg.Envelope) {
+	switch m := env.Payload.(type) {
+	case *msg.DiskRead:
+		d.withService(func() { d.read(m) })
+	case *msg.DiskWrite:
+		d.withService(func() { d.write(m) })
+	case *msg.FenceSet:
+		// Fencing is a control operation: no media access, no service time.
+		d.fence(m)
+	case *msg.DLockAcquire:
+		d.withService(func() { d.dlockAcquire(m) })
+	case *msg.DLockRelease:
+		d.withService(func() { d.dlockRelease(m) })
+	default:
+		// Dumb device: silently ignore anything it does not understand.
+	}
+}
+
+// withService models a single-actuator device: requests are serviced one
+// at a time, ServiceTime each, FIFO. Concurrent arrivals queue, so a
+// burst of N operations (e.g. a phase-4 flush of N dirty pages) takes
+// ~N·ServiceTime — which is exactly what makes the flush-window ablation
+// (experiment A1) meaningful.
+func (d *Disk) withService(fn func()) {
+	if d.cfg.ServiceTime <= 0 {
+		fn()
+		return
+	}
+	now := d.clock.Now()
+	start := now
+	if d.busyUntil.After(start) {
+		start = d.busyUntil
+	}
+	d.queueWait.Observe(start.Sub(now))
+	d.busyUntil = start.Add(d.cfg.ServiceTime)
+	d.clock.AfterFunc(d.busyUntil.Sub(now), fn)
+}
+
+func (d *Disk) read(m *msg.DiskRead) {
+	res := &msg.DiskReadRes{Req: m.Req}
+	switch {
+	case d.fenced[m.Client]:
+		d.fencedOps.Inc()
+		res.Err = msg.ErrFenced
+		if d.obs.Rejected != nil {
+			d.obs.Rejected(d.id, m.Client)
+		}
+	case m.Block >= d.cfg.Blocks:
+		res.Err = msg.ErrRange
+	default:
+		d.reads.Inc()
+		if b, ok := d.data[m.Block]; ok {
+			res.Data = append([]byte(nil), b...)
+			res.Ver = d.vers[m.Block]
+		} else {
+			res.Data = make([]byte, BlockSize) // unwritten blocks read as zeros
+		}
+		if d.obs.Served != nil {
+			d.obs.Served(d.id, m.Block, res.Ver, m.Client)
+		}
+	}
+	d.send(m.Client, res)
+}
+
+func (d *Disk) write(m *msg.DiskWrite) {
+	res := &msg.DiskWriteRes{Req: m.Req}
+	switch {
+	case d.fenced[m.Client]:
+		d.fencedOps.Inc()
+		res.Err = msg.ErrFenced
+		if d.obs.Rejected != nil {
+			d.obs.Rejected(d.id, m.Client)
+		}
+	case m.Block >= d.cfg.Blocks:
+		res.Err = msg.ErrRange
+	case len(m.Data) > BlockSize:
+		res.Err = msg.ErrRange
+	default:
+		d.writes.Inc()
+		buf := make([]byte, BlockSize)
+		copy(buf, m.Data)
+		d.data[m.Block] = buf
+		d.vers[m.Block] = m.Ver
+		if d.obs.Committed != nil {
+			d.obs.Committed(d.id, m.Block, m.Ver, m.Client)
+		}
+	}
+	d.send(m.Client, res)
+}
+
+func (d *Disk) fence(m *msg.FenceSet) {
+	if m.On {
+		d.fenced[m.Target] = true
+	} else {
+		delete(d.fenced, m.Target)
+	}
+	d.send(m.Admin, &msg.FenceRes{Req: m.Req})
+}
+
+// Fenced reports whether an initiator is currently fenced (test hook).
+func (d *Disk) Fenced(id msg.NodeID) bool { return d.fenced[id] }
+
+// PeekBlock returns a copy of a block's stable contents and version
+// (oracle/test hook; not reachable over the SAN protocol).
+func (d *Disk) PeekBlock(block uint64) (data []byte, ver uint64, ok bool) {
+	b, ok := d.data[block]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), b...), d.vers[block], true
+}
+
+// --- GFS-baseline dlocks ----------------------------------------------------
+
+func (d *Disk) dlockAcquire(m *msg.DLockAcquire) {
+	now := d.clock.Now()
+	d.expireDlocks(now)
+	res := &msg.DLockRes{Req: m.Req}
+	if d.fenced[m.Client] {
+		res.Err = msg.ErrFenced
+		d.send(m.Client, res)
+		return
+	}
+	for i := range d.dlocks {
+		l := &d.dlocks[i]
+		if l.overlaps(m.Start, m.Count) {
+			if l.owner == m.Client {
+				// Re-acquire extends the TTL.
+				l.expires = now.Add(m.TTL)
+				d.send(m.Client, res)
+				return
+			}
+			res.Err = msg.ErrDLockHeld
+			d.send(m.Client, res)
+			return
+		}
+	}
+	d.dlocks = append(d.dlocks, dlock{
+		start: m.Start, count: uint64(m.Count), owner: m.Client,
+		expires: now.Add(m.TTL),
+	})
+	d.send(m.Client, res)
+}
+
+func (d *Disk) dlockRelease(m *msg.DLockRelease) {
+	res := &msg.DLockRes{Req: m.Req}
+	kept := d.dlocks[:0]
+	for _, l := range d.dlocks {
+		if l.owner == m.Client && l.start == m.Start && l.count == uint64(m.Count) {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	d.dlocks = kept
+	d.send(m.Client, res)
+}
+
+func (d *Disk) expireDlocks(now sim.Time) {
+	kept := d.dlocks[:0]
+	for _, l := range d.dlocks {
+		if now.Before(l.expires) {
+			kept = append(kept, l)
+		}
+	}
+	d.dlocks = kept
+}
+
+// DLockCount returns the number of live dlocks (test hook).
+func (d *Disk) DLockCount() int {
+	d.expireDlocks(d.clock.Now())
+	return len(d.dlocks)
+}

@@ -1,0 +1,269 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// rig wires one disk to a capture of its outbound replies, with a zero
+// service time by default so tests see replies synchronously.
+type rig struct {
+	s       *sim.Scheduler
+	d       *Disk
+	replies []msg.Message
+}
+
+func newRig(t *testing.T, cfg Config, obs Observer) *rig {
+	t.Helper()
+	r := &rig{s: sim.NewScheduler(1)}
+	clock := r.s.NewClock(1, 0)
+	r.d = New(9, cfg, clock, func(to msg.NodeID, m msg.Message) {
+		r.replies = append(r.replies, m)
+	}, stats.NewRegistry(), obs)
+	return r
+}
+
+func (r *rig) deliver(m msg.Message) {
+	r.d.Deliver(msg.Envelope{From: 1, To: 9, Payload: m})
+	r.s.Run()
+}
+
+func (r *rig) last() msg.Message { return r.replies[len(r.replies)-1] }
+
+func TestReadUnwrittenBlockIsZeros(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16}, Observer{})
+	r.deliver(&msg.DiskRead{Client: 1, Req: 1, Block: 3})
+	res := r.last().(*msg.DiskReadRes)
+	if res.Err != msg.OK {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if len(res.Data) != BlockSize || !bytes.Equal(res.Data, make([]byte, BlockSize)) {
+		t.Fatal("unwritten block must read as zeros")
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16}, Observer{})
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 1, Block: 5, Data: []byte("hello"), Ver: 42})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.OK {
+		t.Fatalf("write err = %v", res.Err)
+	}
+	r.deliver(&msg.DiskRead{Client: 2, Req: 2, Block: 5})
+	res := r.last().(*msg.DiskReadRes)
+	if !bytes.Equal(res.Data[:5], []byte("hello")) || res.Ver != 42 {
+		t.Fatalf("read back %q ver %d", res.Data[:5], res.Ver)
+	}
+	if data, ver, ok := r.d.PeekBlock(5); !ok || ver != 42 || !bytes.Equal(data[:5], []byte("hello")) {
+		t.Fatal("PeekBlock mismatch")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	r := newRig(t, Config{Blocks: 4}, Observer{})
+	r.deliver(&msg.DiskRead{Client: 1, Req: 1, Block: 4})
+	if res := r.last().(*msg.DiskReadRes); res.Err != msg.ErrRange {
+		t.Fatalf("read err = %v, want ErrRange", res.Err)
+	}
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 2, Block: 9, Data: nil})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.ErrRange {
+		t.Fatalf("write err = %v, want ErrRange", res.Err)
+	}
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 3, Block: 0, Data: make([]byte, BlockSize+1)})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.ErrRange {
+		t.Fatalf("oversized write err = %v, want ErrRange", res.Err)
+	}
+}
+
+func TestFencingRejectsIndefinitely(t *testing.T) {
+	rejected := 0
+	r := newRig(t, Config{Blocks: 16}, Observer{
+		Rejected: func(d, init msg.NodeID) {
+			if init != 1 {
+				t.Errorf("rejected wrong initiator %v", init)
+			}
+			rejected++
+		},
+	})
+	r.deliver(&msg.FenceSet{Admin: 100, Req: 1, Target: 1, On: true})
+	if res := r.last().(*msg.FenceRes); res.Err != msg.OK {
+		t.Fatalf("fence err = %v", res.Err)
+	}
+	if !r.d.Fenced(1) {
+		t.Fatal("Fenced(1) = false")
+	}
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 2, Block: 0, Data: []byte("x")})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.ErrFenced {
+		t.Fatalf("write err = %v, want ErrFenced", res.Err)
+	}
+	r.deliver(&msg.DiskRead{Client: 1, Req: 3, Block: 0})
+	if res := r.last().(*msg.DiskReadRes); res.Err != msg.ErrFenced {
+		t.Fatalf("read err = %v, want ErrFenced", res.Err)
+	}
+	// Other initiators are unaffected.
+	r.deliver(&msg.DiskWrite{Client: 2, Req: 4, Block: 0, Data: []byte("y")})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.OK {
+		t.Fatalf("other client write err = %v", res.Err)
+	}
+	// Unfence restores access.
+	r.deliver(&msg.FenceSet{Admin: 100, Req: 5, Target: 1, On: false})
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 6, Block: 0, Data: []byte("z")})
+	if res := r.last().(*msg.DiskWriteRes); res.Err != msg.OK {
+		t.Fatalf("post-unfence write err = %v", res.Err)
+	}
+	if rejected != 2 {
+		t.Fatalf("rejected observer fired %d times, want 2", rejected)
+	}
+}
+
+func TestObserverCommitServe(t *testing.T) {
+	var commits, serves int
+	r := newRig(t, Config{Blocks: 16}, Observer{
+		Committed: func(d msg.NodeID, block, ver uint64, w msg.NodeID) {
+			commits++
+			if block != 7 || ver != 3 || w != 1 {
+				t.Errorf("commit block=%d ver=%d w=%v", block, ver, w)
+			}
+		},
+		Served: func(d msg.NodeID, block, ver uint64, rd msg.NodeID) {
+			serves++
+			if ver != 3 || rd != 2 {
+				t.Errorf("serve ver=%d rd=%v", ver, rd)
+			}
+		},
+	})
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 1, Block: 7, Data: []byte("d"), Ver: 3})
+	r.deliver(&msg.DiskRead{Client: 2, Req: 2, Block: 7})
+	if commits != 1 || serves != 1 {
+		t.Fatalf("commits=%d serves=%d", commits, serves)
+	}
+}
+
+func TestServiceTimeDelaysReply(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16, ServiceTime: time.Millisecond}, Observer{})
+	r.d.Deliver(msg.Envelope{Payload: &msg.DiskRead{Client: 1, Req: 1, Block: 0}})
+	if len(r.replies) != 0 {
+		t.Fatal("reply sent before service time")
+	}
+	r.s.Run()
+	if len(r.replies) != 1 {
+		t.Fatal("reply missing after service time")
+	}
+	if r.s.Now() != sim.Time(time.Millisecond) {
+		t.Fatalf("replied at %v, want 1ms", r.s.Now())
+	}
+}
+
+func TestDiskIgnoresUnknownMessages(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16}, Observer{})
+	r.deliver(&msg.KeepAlive{}) // not a SAN message; must be ignored
+	if len(r.replies) != 0 {
+		t.Fatal("disk replied to non-SAN message")
+	}
+}
+
+func TestDLockConflictAndExpiry(t *testing.T) {
+	r := newRig(t, Config{Blocks: 64}, Observer{})
+	ttl := 100 * time.Millisecond
+	r.deliver(&msg.DLockAcquire{Client: 1, Req: 1, Start: 0, Count: 8, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.OK {
+		t.Fatalf("acquire err = %v", res.Err)
+	}
+	// Overlapping range by another client: held.
+	r.deliver(&msg.DLockAcquire{Client: 2, Req: 2, Start: 4, Count: 8, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.ErrDLockHeld {
+		t.Fatalf("conflict err = %v, want ErrDLockHeld", res.Err)
+	}
+	// Disjoint range: fine.
+	r.deliver(&msg.DLockAcquire{Client: 2, Req: 3, Start: 8, Count: 8, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.OK {
+		t.Fatalf("disjoint err = %v", res.Err)
+	}
+	if r.d.DLockCount() != 2 {
+		t.Fatalf("dlock count = %d", r.d.DLockCount())
+	}
+	// After TTL the first lock expires and client 2 can take the range —
+	// this is exactly how GFS recovers from failed clients (§5).
+	r.s.RunFor(2 * ttl)
+	r.deliver(&msg.DLockAcquire{Client: 2, Req: 4, Start: 0, Count: 8, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.OK {
+		t.Fatalf("post-expiry err = %v", res.Err)
+	}
+}
+
+func TestDLockReacquireExtends(t *testing.T) {
+	r := newRig(t, Config{Blocks: 64}, Observer{})
+	ttl := 100 * time.Millisecond
+	r.deliver(&msg.DLockAcquire{Client: 1, Req: 1, Start: 0, Count: 4, TTL: ttl})
+	r.s.RunFor(80 * time.Millisecond)
+	r.deliver(&msg.DLockAcquire{Client: 1, Req: 2, Start: 0, Count: 4, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.OK {
+		t.Fatalf("re-acquire err = %v", res.Err)
+	}
+	r.s.RunFor(80 * time.Millisecond) // 160ms total; original would have expired
+	r.deliver(&msg.DLockAcquire{Client: 2, Req: 3, Start: 0, Count: 4, TTL: ttl})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.ErrDLockHeld {
+		t.Fatal("extension did not hold")
+	}
+}
+
+func TestDLockRelease(t *testing.T) {
+	r := newRig(t, Config{Blocks: 64}, Observer{})
+	r.deliver(&msg.DLockAcquire{Client: 1, Req: 1, Start: 0, Count: 4, TTL: time.Hour})
+	r.deliver(&msg.DLockRelease{Client: 1, Req: 2, Start: 0, Count: 4})
+	if r.d.DLockCount() != 0 {
+		t.Fatalf("dlock count = %d after release", r.d.DLockCount())
+	}
+	r.deliver(&msg.DLockAcquire{Client: 2, Req: 3, Start: 0, Count: 4, TTL: time.Hour})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.OK {
+		t.Fatalf("acquire after release err = %v", res.Err)
+	}
+}
+
+func TestDLockFencedInitiator(t *testing.T) {
+	r := newRig(t, Config{Blocks: 64}, Observer{})
+	r.deliver(&msg.FenceSet{Admin: 100, Req: 1, Target: 1, On: true})
+	r.deliver(&msg.DLockAcquire{Client: 1, Req: 2, Start: 0, Count: 4, TTL: time.Hour})
+	if res := r.last().(*msg.DLockRes); res.Err != msg.ErrFenced {
+		t.Fatalf("err = %v, want ErrFenced", res.Err)
+	}
+}
+
+func TestWriteIsCopied(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16}, Observer{})
+	buf := []byte("abc")
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 1, Block: 0, Data: buf})
+	buf[0] = 'Z' // mutate caller's buffer after the write
+	data, _, _ := r.d.PeekBlock(0)
+	if data[0] != 'a' {
+		t.Fatal("disk aliased the writer's buffer")
+	}
+	// Reads must also return copies.
+	r.deliver(&msg.DiskRead{Client: 1, Req: 2, Block: 0})
+	res := r.last().(*msg.DiskReadRes)
+	res.Data[0] = 'Q'
+	data, _, _ = r.d.PeekBlock(0)
+	if data[0] != 'a' {
+		t.Fatal("disk handed out its internal buffer")
+	}
+}
+
+func TestServiceQueueSerializes(t *testing.T) {
+	r := newRig(t, Config{Blocks: 16, ServiceTime: time.Millisecond}, Observer{})
+	// A burst of 5 reads arrives at once: replies must come out one
+	// service time apart (single actuator), not all together.
+	for i := 0; i < 5; i++ {
+		r.d.Deliver(msg.Envelope{Payload: &msg.DiskRead{Client: 1, Req: msg.ReqID(i), Block: 0}})
+	}
+	r.s.Run()
+	if len(r.replies) != 5 {
+		t.Fatalf("replies = %d", len(r.replies))
+	}
+	if want := sim.Time(5 * time.Millisecond); r.s.Now() != want {
+		t.Fatalf("burst finished at %v, want %v (serialized)", r.s.Now(), want)
+	}
+}

@@ -1,0 +1,177 @@
+// Package experiments reproduces every figure and table of the paper's
+// argument as a measured experiment (see DESIGN.md §4 for the index).
+// Each Run* function builds simulated installations, drives them, and
+// returns a Result holding both a rendered table (what cmd/simulate
+// prints and EXPERIMENTS.md records) and named metrics that the test
+// suite and benchmarks assert on.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// Params scales an experiment run.
+type Params struct {
+	// Seed drives all randomness; identical Params give identical output.
+	Seed int64
+	// Quick shrinks sweeps and durations for tests and benchmarks.
+	Quick bool
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID      string
+	Title   string
+	Table   *stats.Table
+	Metrics map[string]float64
+}
+
+// Metric records a named metric.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// String renders the experiment header, table and metrics.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Table.String())
+	names := make([]string, 0, len(r.Metrics))
+	for n := range r.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  metric %-36s %s\n", n, stats.FmtF(r.Metrics[n]))
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) *Result
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"F1", "server load: direct SAN access vs function-shipping (Fig 1, §1.1)", RunF1},
+		{"F2", "two-network partition: availability and safety by policy (Fig 2, §2)", RunF2},
+		{"F3", "lease renewal under rate-synchronized clocks (Fig 3, Thm 3.1)", RunF3},
+		{"F4", "the four phases of the lease period (Fig 4, §3.2)", RunF4},
+		{"F5", "NACKs for inconsistent clients (Fig 5, §3.3)", RunF5},
+		{"T1", "lease overhead in normal operation vs V/Frangipani/NFS (§3-5)", RunT1},
+		{"T2", "lock unavailability after isolation vs τ (§1.2, §2)", RunT2},
+		{"T3", "consistency violations under failure injection (§2.1)", RunT3},
+		{"T4", "GFS dlock vs logical locks: messages per operation (§5)", RunT4},
+		{"T5", "opportunistic renewal vs client activity (§3.1)", RunT5},
+		{"T6", "slow computers beyond the rate bound: fencing backstop (§6)", RunT6},
+		{"T7", "server failure and recovery: lock reassertion (§6)", RunT7},
+		{"T8", "server cluster: per-pair lease granularity (§4, Fig 1)", RunT8},
+		{"A1", "ablation: lease phase boundaries (DESIGN §5)", RunA1},
+		{"A2", "ablation: demand retry policy under datagram loss (DESIGN §5)", RunA2},
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+// blockData builds one block filled with b.
+func blockData(b byte) []byte {
+	buf := make([]byte, cluster.BlockSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// baseOptions returns the standard experiment installation.
+func baseOptions(seed int64) cluster.Options {
+	opts := cluster.DefaultOptions()
+	opts.Seed = seed
+	return opts
+}
+
+// shortCore returns a protocol config with the given τ and proportional
+// retry timing.
+func shortCore(tau time.Duration) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Tau = tau
+	cfg.RetryInterval = tau / 50
+	return cfg
+}
+
+// isolationScenario is the canonical Fig 2 setup: client 0 holds an
+// exclusive lock with both committed and dirty data; it is isolated on
+// the control network; client 1 then writes the contended block. It
+// returns the survivor's wait for the lock and the cluster (with the
+// partition still in place unless heal ran).
+type isolationOutcome struct {
+	lockWait    time.Duration
+	granted     bool
+	survivorErr msg.Errno
+	isolatedH   msg.Handle // client 0's open handle from the setup
+}
+
+func isolationScenario(cl *cluster.Cluster, horizon time.Duration) isolationOutcome {
+	h0, _ := cl.MustOpen(0, "/contended", true, true)
+	if errno := cl.Write(0, h0, 0, blockData('X')); errno != msg.OK {
+		panic(fmt.Sprintf("setup write: %v", errno))
+	}
+	// Commit block 1, then re-dirty it: the at-risk update.
+	if errno := cl.Write(0, h0, 1, blockData('P')); errno != msg.OK {
+		panic(fmt.Sprintf("setup write2: %v", errno))
+	}
+	if errno := cl.Sync(0); errno != msg.OK {
+		panic(fmt.Sprintf("setup sync: %v", errno))
+	}
+	if errno := cl.Write(0, h0, 1, blockData('Q')); errno != msg.OK {
+		panic(fmt.Sprintf("setup redirty: %v", errno))
+	}
+
+	cl.IsolateClient(0)
+
+	h1, _, errno := cl.Open(1, "/contended", true, false)
+	if errno != msg.OK {
+		panic(fmt.Sprintf("survivor open: %v", errno))
+	}
+	out := isolationOutcome{isolatedH: h0}
+	start := cl.Sched.Now()
+	finished := false
+	cl.Clients[1].Write(h1, 0, blockData('Z'), func(e msg.Errno) {
+		finished = true
+		out.granted = e == msg.OK
+		out.survivorErr = e
+		out.lockWait = cl.Sched.Now().Sub(start)
+	})
+	deadline := start.Add(horizon)
+	cl.Sched.RunWhile(func() bool {
+		return !finished && !cl.Sched.Now().After(deadline)
+	})
+	if !finished {
+		out.lockWait = horizon
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Params { return Params{Seed: 7, Quick: true} }
+
+func TestAllRegisteredAndLookup(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("experiments = %d, want 15 (F1-F5, T1-T8, A1-A2)", len(all))
+	}
+	for _, e := range all {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+		got, ok := ByID(strings.ToLower(e.ID))
+		if !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestF1DirectBeatsFunctionShip(t *testing.T) {
+	r := RunF1(quick())
+	if r.Metrics["direct.server_data_bytes"] != 0 {
+		t.Fatalf("direct path moved %v bytes through the server", r.Metrics["direct.server_data_bytes"])
+	}
+	if r.Metrics["funcship.server_data_bytes"] == 0 {
+		t.Fatal("function-ship path moved no data through the server")
+	}
+	if r.Metrics["speedup_at_max_clients"] < 1.3 {
+		t.Fatalf("direct access slower than function shipping: %v", r.Metrics["speedup_at_max_clients"])
+	}
+}
+
+func TestF2OnlyLeaseIsAvailableAndSafe(t *testing.T) {
+	r := RunF2(quick())
+	if v := r.Metrics["storage-tank.violations"]; v != 0 {
+		t.Fatalf("lease protocol violated consistency %v times", v)
+	}
+	if w := r.Metrics["storage-tank.lock_wait_secs"]; w <= 0 {
+		t.Fatal("lease protocol did not recover the lock")
+	}
+	if w := r.Metrics["honor-locks.lock_wait_secs"]; w != -1 {
+		t.Fatalf("honor-locks recovered within the horizon (wait %v)", w)
+	}
+	if v := r.Metrics["naive-steal.violations"]; v == 0 {
+		t.Fatal("naive steal produced no violations")
+	}
+	if v := r.Metrics["fence-only.violations"]; v == 0 {
+		t.Fatal("fence-only produced no violations")
+	}
+}
+
+func TestF3TheoremHoldsInsideBound(t *testing.T) {
+	r := RunF3(quick())
+	for _, eps := range []string{"0", "0.01", "0.05", "0.1"} {
+		if v := r.Metrics["violations.eps="+eps]; v != 0 {
+			t.Fatalf("eps=%s: %v violations inside the bound", eps, v)
+		}
+	}
+	if v := r.Metrics["violations.outside_bound"]; v == 0 {
+		t.Fatal("no violations outside the bound — the assumption would be vacuous")
+	}
+}
+
+func TestF4PhasesFlushBeforeExpiry(t *testing.T) {
+	r := RunF4(quick())
+	if d := r.Metrics["dirty_at_expiry"]; d != 0 {
+		t.Fatalf("dirty pages at expiry: %v", d)
+	}
+	if d := r.Metrics["dirty_at_flush_entry"]; d <= 0 {
+		t.Fatalf("nothing dirty at phase-4 entry (%v) — scenario broken", d)
+	}
+	if s := r.Metrics["steal_after_expiry_secs"]; s < 0 {
+		t.Fatalf("steal preceded client expiry by %v s", -s)
+	}
+	if k := r.Metrics["keepalives"]; k <= 0 {
+		t.Fatal("no keep-alives in phase 2")
+	}
+	if v := r.Metrics["violations"]; v != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	// Phase 4 begins at the configured fraction of τ (allowing clock
+	// skew and failure-detection offsets of a few percent).
+	if f := r.Metrics["flush_entry_frac"]; f < 0.7 || f > 1.0 {
+		t.Fatalf("flush entry at %.2fτ, want ≈0.85τ", f)
+	}
+}
+
+func TestF5NACKSavesTrafficAndTime(t *testing.T) {
+	r := RunF5(quick())
+	if r.Metrics["nack.msgs_after_heal"] >= r.Metrics["ignore.msgs_after_heal"] {
+		t.Fatalf("NACK did not reduce traffic: %v vs %v",
+			r.Metrics["nack.msgs_after_heal"], r.Metrics["ignore.msgs_after_heal"])
+	}
+	if r.Metrics["nack.time_to_quiesce_secs"] >= r.Metrics["ignore.time_to_quiesce_secs"] {
+		t.Fatalf("NACK did not quiesce sooner: %v vs %v",
+			r.Metrics["nack.time_to_quiesce_secs"], r.Metrics["ignore.time_to_quiesce_secs"])
+	}
+}
+
+func TestT1StorageTankIsFree(t *testing.T) {
+	r := RunT1(quick())
+	if v := r.Metrics["storage-tank.active_lease_msgs_per_tau"]; v != 0 {
+		t.Fatalf("active Storage Tank clients sent %v lease msgs/τ", v)
+	}
+	if v := r.Metrics["storage-tank.server_lease_ops"]; v != 0 {
+		t.Fatalf("Storage Tank server performed %v lease ops", v)
+	}
+	if v := r.Metrics["storage-tank.server_lease_bytes_max"]; v != 0 {
+		t.Fatalf("Storage Tank server held %v lease bytes", v)
+	}
+	// Idle Storage Tank clients pay a couple of keep-alives per τ — far
+	// fewer than Frangipani's always-on heartbeats.
+	if v := r.Metrics["storage-tank.idle_lease_msgs_per_tau"]; v <= 0 || v > 3 {
+		t.Fatalf("idle keep-alives per τ = %v, want (0,3]", v)
+	}
+	if r.Metrics["frangipani.active_lease_msgs_per_tau"] <= 0 {
+		t.Fatal("Frangipani sent no heartbeats while active")
+	}
+	if r.Metrics["frangipani.server_lease_bytes_max"] <= 0 {
+		t.Fatal("Frangipani server held no lease state")
+	}
+	if r.Metrics["v-leases.server_lease_bytes_max"] <=
+		r.Metrics["frangipani.server_lease_bytes_max"] {
+		t.Fatal("per-object lease state should exceed per-client state")
+	}
+}
+
+func TestT2AvailabilityScalesWithTau(t *testing.T) {
+	r := RunT2(quick())
+	w5 := r.Metrics["storage-tank.wait_secs.tau=5s"]
+	w20 := r.Metrics["storage-tank.wait_secs.tau=20s"]
+	if w5 <= 0 || w20 <= 0 {
+		t.Fatalf("lease recovery failed: %v / %v", w5, w20)
+	}
+	if w20 < 2*w5 {
+		t.Fatalf("wait does not scale with τ: τ=5s→%vs, τ=20s→%vs", w5, w20)
+	}
+	// Recovery lands near τ(1+ε) + detection.
+	if w5 < 5 || w5 > 8 {
+		t.Fatalf("τ=5s wait = %vs, want ≈5.25-7s", w5)
+	}
+	if r.Metrics["honor-locks.wait_secs.tau=5s"] != -1 {
+		t.Fatal("honor-locks recovered")
+	}
+	if fo := r.Metrics["fence-only.wait_secs.tau=5s"]; fo <= 0 || fo > 2 {
+		t.Fatalf("fence-only wait = %vs, want sub-2s (unsafe but fast)", fo)
+	}
+}
+
+func TestT3OnlySafePoliciesAreClean(t *testing.T) {
+	r := RunT3(quick())
+	if v := r.Metrics["storage-tank.total_violations"]; v != 0 {
+		t.Fatalf("storage-tank violations: %v", v)
+	}
+	if v := r.Metrics["honor-locks.total_violations"]; v != 0 {
+		t.Fatalf("honor-locks violations: %v", v)
+	}
+	if v := r.Metrics["frangipani.total_violations"]; v != 0 {
+		t.Fatalf("frangipani violations: %v", v)
+	}
+	unsafe := r.Metrics["naive-steal.total_violations"] + r.Metrics["fence-only.total_violations"]
+	if unsafe == 0 {
+		t.Fatal("failure injection produced no violations for the unsafe policies")
+	}
+}
+
+func TestT4DlockCostsMoreSAN(t *testing.T) {
+	r := RunT4(quick())
+	st := r.Metrics["storage-tank.san_msgs_per_op"]
+	gfs := r.Metrics["gfs-dlock.san_msgs_per_op"]
+	if gfs <= st {
+		t.Fatalf("dlock SAN cost (%v/op) not above logical locks (%v/op)", gfs, st)
+	}
+	if gfs < 2 {
+		t.Fatalf("dlock should cost at least lock+unlock round trips, got %v/op", gfs)
+	}
+}
+
+func TestT5KeepAliveCrossover(t *testing.T) {
+	r := RunT5(quick())
+	opts := baseOptions(7)
+	tau := opts.Core.Tau
+	busy := "keepalives_per_tau.think=" + (tau / 20).String()
+	idle := "keepalives_per_tau.think=" + (2 * tau).String()
+	if v := r.Metrics[busy]; v != 0 {
+		t.Fatalf("busy clients sent %v keep-alives/τ", v)
+	}
+	if v := r.Metrics[idle]; v <= 0 {
+		t.Fatal("idle clients sent no keep-alives")
+	}
+	for name, v := range r.Metrics {
+		if strings.HasPrefix(name, "expiries.") && v != 0 {
+			t.Fatalf("%s = %v: a lease expired without any failure", name, v)
+		}
+	}
+}
+
+func TestT6FenceStopsSlowClients(t *testing.T) {
+	r := RunT6(quick())
+	if r.Metrics["nofence.late_write_corrupted"] != 1 {
+		t.Fatal("without the fence, the slow client's late flush should corrupt the disk")
+	}
+	if r.Metrics["fence.late_write_corrupted"] != 0 {
+		t.Fatal("the fence failed to stop the late write")
+	}
+	if r.Metrics["fence.fenced_rejections"] == 0 {
+		t.Fatal("the fence never rejected anything")
+	}
+}
+
+func TestT7ReassertionBeatsFullRecovery(t *testing.T) {
+	r := RunT7(quick())
+	if r.Metrics["reassert.cache_survived"] != 1 {
+		t.Fatal("reassertion lost the cache")
+	}
+	if r.Metrics["norecover.cache_survived"] != 0 {
+		t.Fatal("ablation kept the cache")
+	}
+	if r.Metrics["reassert.outage_secs"] >= r.Metrics["norecover.outage_secs"] {
+		t.Fatalf("reassertion outage %vs not below full recovery %vs",
+			r.Metrics["reassert.outage_secs"], r.Metrics["norecover.outage_secs"])
+	}
+	if r.Metrics["reassert.violations"] != 0 || r.Metrics["norecover.violations"] != 0 {
+		t.Fatal("server recovery violated consistency")
+	}
+}
+
+func TestT8PerPairGranularity(t *testing.T) {
+	r := RunT8(quick())
+	if r.Metrics["unaffected_shard_errors"] != 0 {
+		t.Fatalf("unaffected shards saw %v errors", r.Metrics["unaffected_shard_errors"])
+	}
+	if r.Metrics["unaffected_leases_valid"] != 1 {
+		t.Fatal("unaffected shard leases were disturbed")
+	}
+	if r.Metrics["partitioned_shard_errors"] == 0 {
+		t.Fatal("the partitioned shard saw no errors — the partition did nothing")
+	}
+	if r.Metrics["violations"] != 0 {
+		t.Fatalf("violations: %v", r.Metrics["violations"])
+	}
+}
+
+func TestA1PhaseBoundaries(t *testing.T) {
+	r := RunA1(quick())
+	if v := r.Metrics["dirty_at_expiry.p3=0.85"]; v != 0 {
+		t.Fatalf("default boundaries left %v dirty pages at expiry", v)
+	}
+	if v := r.Metrics["dirty_at_expiry.p3=0.98"]; v == 0 {
+		t.Fatal("reckless flush window absorbed the cache — the ablation shows nothing")
+	}
+}
+
+func TestA2RetryPolicy(t *testing.T) {
+	r := RunA2(quick())
+	if r.Metrics["false_suspicions.retries=0"] <= r.Metrics["false_suspicions.retries=3"] {
+		t.Fatalf("zero-retry policy not more trigger-happy: %v vs %v",
+			r.Metrics["false_suspicions.retries=0"], r.Metrics["false_suspicions.retries=3"])
+	}
+	if r.Metrics["detection_secs.retries=3"] <= 0 {
+		t.Fatal("real failure never detected")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := RunF3(Params{Seed: 1, Quick: true})
+	out := r.String()
+	for _, want := range []string{"== F3", "eps", "violations", "metric"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}

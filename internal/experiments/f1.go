@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunF1 reproduces the architectural claim behind Fig 1 (§1.1): with
+// clients accessing the SAN directly, the metadata server handles only
+// transactions and moves no file data, so client data throughput scales
+// past what a function-shipping server sustains. We sweep the client
+// count for both data paths and report client ops/s, server
+// transactions/s, and file bytes moved through the server.
+func RunF1(p Params) *Result {
+	clientCounts := []int{1, 2, 4, 8}
+	duration := 30 * time.Second
+	if p.Quick {
+		clientCounts = []int{1, 4}
+		duration = 10 * time.Second
+	}
+
+	res := &Result{ID: "F1", Title: "direct SAN access vs function-shipping server"}
+	res.Table = stats.NewTable("",
+		"data path", "clients", "client ops/s", "server tx/s", "server data bytes", "errors")
+
+	type cell struct{ ops, dataBytes float64 }
+	byKey := map[string]cell{}
+
+	for _, pol := range []baselines.Policy{baselines.StorageTank(), baselines.FunctionShip()} {
+		for _, n := range clientCounts {
+			opts := baseOptions(p.Seed)
+			opts.Clients = n
+			opts.Policy = pol
+			opts.NoChecker = true // measuring cost, not correctness
+			cl := cluster.New(opts)
+			cl.Start()
+
+			// Disjoint per-client working sets: F1 measures the data-path
+			// architecture, not lock contention (T3/T4 cover contention).
+			const filesPerClient = 4
+			wcfg := workload.DefaultConfig()
+			wcfg.Files = filesPerClient * n
+			wcfg.BlocksPerFile = 4
+			wcfg.MeanThink = 2 * time.Millisecond
+			workload.Populate(cl, wcfg)
+
+			base := cl.Reg.Snapshot()
+			startTx := cl.Reg.CounterValue("server.transactions")
+			startData := cl.Reg.CounterValue("server.data_bytes")
+			runners := make([]*workload.Runner, n)
+			for i := range runners {
+				rcfg := wcfg
+				rcfg.Files = filesPerClient
+				rcfg.FileBase = i * filesPerClient
+				runners[i] = workload.NewRunner(cl, i, rcfg, p.Seed+int64(i)*97)
+				runners[i].Start()
+			}
+			cl.RunFor(duration)
+			for _, r := range runners {
+				r.Stop()
+			}
+			_ = base
+
+			var ops, errs uint64
+			for _, r := range runners {
+				ops += r.Ops
+				errs += r.Errors
+			}
+			secs := duration.Seconds()
+			tx := cl.Reg.CounterValue("server.transactions") - startTx
+			data := cl.Reg.CounterValue("server.data_bytes") - startData
+			res.Table.AddRow(
+				pol.Name,
+				stats.FmtN(n),
+				stats.FmtF(float64(ops)/secs),
+				stats.FmtF(float64(tx)/secs),
+				stats.FmtBytes(data),
+				stats.FmtN(errs),
+			)
+			byKey[key2(pol.Name, n)] = cell{ops: float64(ops) / secs, dataBytes: float64(data)}
+		}
+	}
+
+	nMax := clientCounts[len(clientCounts)-1]
+	direct := byKey[key2("storage-tank", nMax)]
+	ship := byKey[key2("function-ship", nMax)]
+	res.Metric("direct.server_data_bytes", direct.dataBytes)
+	res.Metric("funcship.server_data_bytes", ship.dataBytes)
+	res.Metric("direct.ops_per_sec", direct.ops)
+	res.Metric("funcship.ops_per_sec", ship.ops)
+	if ship.ops > 0 {
+		res.Metric("speedup_at_max_clients", direct.ops/ship.ops)
+	}
+	res.Table.AddNote("direct-access servers move no file data; their load is transactions (§1.1)")
+	return res
+}
+
+func key2(name string, n int) string {
+	return name + "/" + stats.FmtN(n)
+}

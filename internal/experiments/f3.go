@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RunF3 reproduces Fig 3 and Theorem 3.1: a lease obtained from the send
+// time tC1 of an ACKed message, on clocks that are only RATE synchronized
+// within ε, always expires at the client before the server's τ(1+ε)
+// steal. We sweep ε, drawing random clock-rate pairs inside the bound,
+// and measure the safety margin (steal time − client expiry, global);
+// the final row draws rates OUTSIDE the bound to show the assumption is
+// load-bearing.
+func RunF3(p Params) *Result {
+	trials := 2000
+	if p.Quick {
+		trials = 300
+	}
+	epsSweep := []float64{0, 0.01, 0.05, 0.10}
+
+	res := &Result{ID: "F3", Title: "Theorem 3.1 as a measured property"}
+	res.Table = stats.NewTable("",
+		"eps", "trials", "violations", "min margin", "mean margin")
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, eps := range epsSweep {
+		viol, minM, meanM := theoremTrials(rng, eps, trials, false)
+		res.Table.AddRow(
+			stats.FmtF(eps),
+			stats.FmtN(trials),
+			stats.FmtN(viol),
+			minM.String(),
+			meanM.String(),
+		)
+		res.Metric("violations.eps="+stats.FmtF(eps), float64(viol))
+	}
+	// Adversarial: rates violating the bound.
+	viol, minM, meanM := theoremTrials(rng, 0.05, trials, true)
+	res.Table.AddRow("0.05 (violated)", stats.FmtN(trials), stats.FmtN(viol), minM.String(), meanM.String())
+	res.Metric("violations.outside_bound", float64(viol))
+	res.Table.AddNote("margin = global(steal) − global(client lease expiry); negative = unsafe")
+	return res
+}
+
+// theoremTrials runs the renewal/steal race. When outsideBound is set the
+// clock rates deliberately exceed the pairwise bound (slow client, fast
+// server), the regime §6 retains fencing for.
+func theoremTrials(rng *rand.Rand, eps float64, trials int, outsideBound bool) (violations int, minMargin, meanMargin time.Duration) {
+	cfg := core.DefaultConfig()
+	cfg.Bound = sim.RateBound{Eps: eps}
+	var sum time.Duration
+	minMargin = time.Duration(math.MaxInt64)
+
+	for t := 0; t < trials; t++ {
+		// τ between 50ms and ~1s keeps trials fast without loss of
+		// generality (the theorem is scale-free).
+		cfg.Tau = time.Duration(50+rng.Intn(950)) * time.Millisecond
+
+		var rc, rs float64
+		if outsideBound {
+			rc = 0.75 + 0.05*rng.Float64() // slow client
+			rs = 1.20 + 0.05*rng.Float64() // fast server
+		} else {
+			base := 0.8 + 0.4*rng.Float64()
+			half := math.Sqrt(1+eps) - 1
+			rc = base * (1 + (2*rng.Float64()-1)*half)
+			rs = base * (1 + (2*rng.Float64()-1)*half)
+		}
+
+		s := sim.NewScheduler(rng.Int63())
+		clientClock := s.NewClock(rc, sim.Duration(rng.Int63n(int64(time.Hour))))
+		serverClock := s.NewClock(rs, sim.Duration(rng.Int63n(int64(time.Hour))))
+
+		var expiredAt, stolenAt sim.Time
+		lease := core.NewLeaseClient(cfg, clientClock, &phaseRecorder{
+			s: s, onExpire: func(at sim.Time) { expiredAt = at },
+		}, nil, "")
+		auth := core.NewAuthority(cfg, serverClock, stealFn(func(at sim.Time) { stolenAt = at }, s), nil, "")
+
+		// The client's message is sent now (tC1); the server observes the
+		// delivery failure some time ≥ tC1 later (message latency + demand
+		// retries).
+		lease.Renewed(clientClock.Now())
+		gap := time.Duration(rng.Int63n(int64(100 * time.Millisecond)))
+		s.After(gap, func() { auth.OnDeliveryFailure(3) })
+		s.Run()
+
+		margin := stolenAt.Sub(expiredAt)
+		if margin < 0 {
+			violations++
+		}
+		if margin < minMargin {
+			minMargin = margin
+		}
+		sum += margin
+	}
+	return violations, minMargin, sum / time.Duration(trials)
+}
+
+// phaseRecorder is a minimal LeaseActions that auto-completes flushes and
+// records expiry.
+type phaseRecorder struct {
+	s        *sim.Scheduler
+	onExpire func(at sim.Time)
+	onPhase  func(from, to core.Phase, at sim.Time)
+}
+
+func (r *phaseRecorder) SendKeepAlive()    {}
+func (r *phaseRecorder) Quiesce()          {}
+func (r *phaseRecorder) Flush(done func()) { done() }
+func (r *phaseRecorder) Expired() {
+	if r.onExpire != nil {
+		r.onExpire(r.s.Now())
+	}
+}
+func (r *phaseRecorder) PhaseChange(from, to core.Phase) {
+	if r.onPhase != nil {
+		r.onPhase(from, to, r.s.Now())
+	}
+}
+
+// stealFn adapts a closure to core.AuthorityActions.
+type stealRecorder struct {
+	s  *sim.Scheduler
+	fn func(at sim.Time)
+}
+
+func stealFn(fn func(at sim.Time), s *sim.Scheduler) stealRecorder {
+	return stealRecorder{s: s, fn: fn}
+}
+
+func (r stealRecorder) StealLocks(client msg.NodeID) { r.fn(r.s.Now()) }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// RunT2 sweeps the lease period τ and measures the lock-unavailability
+// window — the time from a client's isolation until another client can
+// take its conflicting lock — for each recovery policy. This quantifies
+// the paper's availability trade-off: honor-locks never recovers;
+// naive steal and fence-only recover in one demand-retry round (but
+// unsafely, see T3); the lease protocol recovers in ≈ τ(1+ε) plus the
+// failure-detection time, scaling linearly with τ.
+func RunT2(p Params) *Result {
+	taus := []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 40 * time.Second}
+	if p.Quick {
+		taus = []time.Duration{5 * time.Second, 20 * time.Second}
+	}
+	policies := []baselines.Policy{
+		baselines.StorageTank(),
+		baselines.Frangipani(),
+		baselines.VSystem(),
+		baselines.FenceOnly(),
+		baselines.NaiveSteal(),
+		baselines.HonorLocks(),
+	}
+
+	res := &Result{ID: "T2", Title: "lock unavailability after client isolation"}
+	headers := []string{"policy"}
+	for _, tau := range taus {
+		headers = append(headers, "τ="+tau.String())
+	}
+	res.Table = stats.NewTable("", headers...)
+
+	for _, pol := range policies {
+		row := []string{pol.Name}
+		for _, tau := range taus {
+			opts := baseOptions(p.Seed)
+			opts.Clients = 2
+			opts.Policy = pol
+			opts.Core = shortCore(tau)
+			opts.NoChecker = true
+			cl := cluster.New(opts)
+			cl.Start()
+
+			horizon := 3 * tau
+			out := isolationScenario(cl, horizon)
+			if out.granted {
+				row = append(row, out.lockWait.Round(10*time.Millisecond).String())
+				res.Metric(pol.Name+".wait_secs.tau="+tau.String(), out.lockWait.Seconds())
+			} else {
+				row = append(row, "> "+horizon.String())
+				res.Metric(pol.Name+".wait_secs.tau="+tau.String(), -1)
+			}
+		}
+		res.Table.AddRow(row...)
+	}
+	res.Table.AddNote("wait = isolation → conflicting exclusive grant; steal-based policies are unsafe (T3)")
+	return res
+}

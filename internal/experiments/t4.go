@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunT4 compares Storage Tank's logical locks (granted by the server,
+// cached by clients, demanded back only on conflict) against the Global
+// File System's dlock (§5): a physical lock on a disk-address range,
+// taken from the disk itself with a TTL, paid on EVERY operation and
+// precluding data caching. We run the same workload under both and count
+// SAN messages and control messages per completed operation.
+func RunT4(p Params) *Result {
+	duration := 30 * time.Second
+	if p.Quick {
+		duration = 12 * time.Second
+	}
+
+	res := &Result{ID: "T4", Title: "logical locks vs GFS dlocks"}
+	res.Table = stats.NewTable("",
+		"locking", "ops", "san msgs/op", "ctl msgs/op", "cache hit rate")
+
+	for _, pol := range []baselines.Policy{baselines.StorageTank(), baselines.GFSDlock()} {
+		opts := baseOptions(p.Seed)
+		opts.Clients = 3
+		opts.Policy = pol
+		opts.NoChecker = true
+		cl := cluster.New(opts)
+		cl.Start()
+
+		wcfg := workload.DefaultConfig()
+		wcfg.Files = 9
+		wcfg.BlocksPerFile = 4
+		wcfg.MeanThink = 50 * time.Millisecond
+		workload.Populate(cl, wcfg)
+
+		base := cl.Reg.Snapshot()
+		runners := make([]*workload.Runner, opts.Clients)
+		var ops uint64
+		for i := range runners {
+			runners[i] = workload.NewRunner(cl, i, wcfg, p.Seed+int64(i))
+			runners[i].Start()
+		}
+		cl.RunFor(duration)
+		for _, r := range runners {
+			r.Stop()
+			ops += r.Ops
+		}
+		diff := cl.Reg.DiffFrom(base)
+		san := diff["net.san.sent.san-io"] + diff["net.san.sent.san-reply"]
+		ctl := diff["net.control.sent.control-req"]
+		hits := float64(diff["client."+cluster.ClientID(0).String()+".cache.hits"])
+		miss := float64(diff["client."+cluster.ClientID(0).String()+".cache.misses"])
+		for i := 1; i < opts.Clients; i++ {
+			hits += float64(diff["client."+cluster.ClientID(i).String()+".cache.hits"])
+			miss += float64(diff["client."+cluster.ClientID(i).String()+".cache.misses"])
+		}
+
+		res.Table.AddRow(
+			pol.Name,
+			stats.FmtN(ops),
+			stats.FmtF(safeDiv(float64(san), float64(ops))),
+			stats.FmtF(safeDiv(float64(ctl), float64(ops))),
+			stats.FmtF(safeDiv(hits, hits+miss)),
+		)
+		res.Metric(pol.Name+".san_msgs_per_op", safeDiv(float64(san), float64(ops)))
+		res.Metric(pol.Name+".ctl_msgs_per_op", safeDiv(float64(ctl), float64(ops)))
+		res.Metric(pol.Name+".ops", float64(ops))
+	}
+	res.Table.AddNote("dlock pays lock+unlock disk round-trips per op and cannot cache data (§5)")
+	return res
+}

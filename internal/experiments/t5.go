@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunT5 maps the opportunistic-renewal claim (§3.1): a client whose
+// ordinary control traffic is more frequent than the phase-1 window never
+// sends a lease-specific message; only as it idles past that window do
+// keep-alives appear, capped at a few per lease period. We sweep the mean
+// think time across the phase-1 boundary (P1End·τ) and report renewals
+// and keep-alives per client per τ.
+func RunT5(p Params) *Result {
+	opts0 := baseOptions(p.Seed)
+	tau := opts0.Core.Tau
+	p1 := time.Duration(float64(tau) * opts0.Core.P1End)
+
+	thinks := []time.Duration{
+		tau / 20,   // 0.5s: very active
+		tau / 5,    // 2s: active
+		p1 * 4 / 5, // just inside phase 1
+		p1 * 6 / 5, // just past the boundary
+		tau,        // idle-ish
+		2 * tau,    // idle
+	}
+	duration := 10 * tau
+	if p.Quick {
+		thinks = []time.Duration{tau / 20, p1 * 6 / 5, 2 * tau}
+		duration = 6 * tau
+	}
+
+	res := &Result{ID: "T5", Title: "keep-alives vs client activity (opportunistic renewal)"}
+	res.Table = stats.NewTable("",
+		"mean think", "ops", "renewals/τ", "keep-alives/client/τ", "expiries")
+
+	for _, think := range thinks {
+		opts := baseOptions(p.Seed)
+		opts.Clients = 2
+		opts.NoChecker = true
+		cl := cluster.New(opts)
+		cl.Start()
+
+		wcfg := workload.DefaultConfig()
+		wcfg.Files = 4
+		wcfg.BlocksPerFile = 2
+		wcfg.MeanThink = think
+		// Metadata-leaning mix so ops translate to control messages (the
+		// paper's "lock and metadata messages").
+		wcfg.ReadFrac, wcfg.WriteFrac, wcfg.StatFrac = 0.2, 0.2, 0.5
+		workload.Populate(cl, wcfg)
+
+		base := cl.Reg.Snapshot()
+		runners := make([]*workload.Runner, opts.Clients)
+		var ops uint64
+		for i := range runners {
+			runners[i] = workload.NewRunner(cl, i, wcfg, p.Seed+int64(i))
+			runners[i].Start()
+		}
+		cl.RunFor(duration)
+		for _, r := range runners {
+			r.Stop()
+			ops += r.Ops
+		}
+		diff := cl.Reg.DiffFrom(base)
+
+		periods := float64(duration) / float64(tau)
+		kas := float64(diff["net.control.sent.keepalive"]) / float64(opts.Clients) / periods
+		var renewals, expiries uint64
+		for i := 0; i < opts.Clients; i++ {
+			renewals += diff[fmt.Sprintf("client.%v.lease.renewals", cluster.ClientID(i))]
+			expiries += diff[fmt.Sprintf("client.%v.lease.expiries", cluster.ClientID(i))]
+		}
+
+		res.Table.AddRow(
+			think.String(),
+			stats.FmtN(ops),
+			stats.FmtF(float64(renewals)/float64(opts.Clients)/periods),
+			stats.FmtF(kas),
+			stats.FmtN(expiries),
+		)
+		res.Metric("keepalives_per_tau.think="+think.String(), kas)
+		res.Metric("expiries.think="+think.String(), float64(expiries))
+	}
+	res.Table.AddNote("phase 1 ends at %v (%.2fτ): busier clients than that renew for free", p1, opts0.Core.P1End)
+	return res
+}

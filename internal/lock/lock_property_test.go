@@ -1,0 +1,124 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+)
+
+// replayDemander complies with every demand immediately, like a fully
+// responsive client population.
+type replayDemander struct {
+	t *Table
+	// queue defers compliance so it happens outside the table's own call
+	// stack (mirroring a real async client).
+	queue []demandCall
+}
+
+func (d *replayDemander) Demand(holder msg.NodeID, ino msg.ObjectID, to msg.LockMode, id msg.DemandID) {
+	d.queue = append(d.queue, demandCall{holder, ino, to, id})
+}
+
+func (d *replayDemander) drain() {
+	for len(d.queue) > 0 {
+		c := d.queue[0]
+		d.queue = d.queue[1:]
+		d.t.Downgraded(c.holder, c.ino, c.to, c.id)
+	}
+}
+
+// checkInvariant verifies no two holders of any object are incompatible.
+func checkInvariant(t *Table) bool {
+	for _, o := range t.objects {
+		for a, ma := range o.holders {
+			for b, mb := range o.holders {
+				if a != b && !ma.Compatible(mb) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Property: under any random interleaving of acquires, releases, steals
+// and (eventual) demand compliance, the lock table never holds two
+// incompatible locks, and every acquire by a compliant population is
+// eventually granted.
+func TestLockTableInvariantProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &replayDemander{}
+		tb := NewTable(d)
+		d.t = tb
+		pendingGrants := 0
+		for _, raw := range opsRaw {
+			client := msg.NodeID(raw%4 + 1)
+			ino := msg.ObjectID(raw / 4 % 3)
+			switch raw % 5 {
+			case 0, 1: // acquire shared or exclusive
+				mode := msg.LockShared
+				if raw%2 == 0 {
+					mode = msg.LockExclusive
+				}
+				pendingGrants++
+				tb.Acquire(client, ino, mode, func(msg.LockMode) { pendingGrants-- })
+			case 2:
+				tb.Release(client, ino, msg.LockNone)
+			case 3:
+				tb.StealAll(client)
+				// Steals drop that client's queued grants silently;
+				// account for them.
+				pendingGrants = countWaiters(tb)
+			case 4:
+				d.drain()
+			}
+			if !checkInvariant(tb) {
+				return false
+			}
+			_ = rng
+		}
+		// Fully compliant end-state: drain all demands; all waiters must
+		// eventually be granted.
+		for i := 0; i < 64 && countWaiters(tb) > 0; i++ {
+			d.drain()
+		}
+		return checkInvariant(tb) && countWaiters(tb) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countWaiters(t *Table) int {
+	n := 0
+	for _, o := range t.objects {
+		n += len(o.waiters)
+	}
+	return n
+}
+
+// Property: OutstandingDemands reports exactly the demands not yet
+// satisfied.
+func TestOutstandingDemandsProperty(t *testing.T) {
+	d := &replayDemander{}
+	tb := NewTable(d)
+	d.t = tb
+	var g msg.LockMode
+	var ok bool
+	tb.Acquire(1, 10, msg.LockExclusive, func(m msg.LockMode) { g, ok = m, true })
+	tb.Acquire(2, 10, msg.LockExclusive, func(msg.LockMode) {})
+	if !ok || g != msg.LockExclusive {
+		t.Fatal("first grant missing")
+	}
+	out := tb.OutstandingDemands(1)
+	if len(out) != 1 || out[0].Ino != 10 || out[0].To != msg.LockNone {
+		t.Fatalf("outstanding = %+v", out)
+	}
+	d.drain()
+	if len(tb.OutstandingDemands(1)) != 0 {
+		t.Fatal("demand still outstanding after compliance")
+	}
+}

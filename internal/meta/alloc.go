@@ -1,0 +1,100 @@
+package meta
+
+import "repro/internal/msg"
+
+// Allocator hands out file data blocks across the installation's SAN
+// disks, round-robin for coarse striping. It is server-private state: the
+// shared disks themselves know nothing about allocation.
+type Allocator struct {
+	disks []diskSpace
+	next  int // round-robin cursor
+	inUse map[msg.BlockRef]bool
+	frees map[msg.NodeID][]uint64 // returned blocks, reused before fresh ones
+}
+
+type diskSpace struct {
+	id       msg.NodeID
+	capacity uint64
+	cursor   uint64 // next never-allocated block
+}
+
+// NewAllocator creates an allocator over the given disks.
+func NewAllocator(disks map[msg.NodeID]uint64) *Allocator {
+	a := &Allocator{
+		inUse: make(map[msg.BlockRef]bool),
+		frees: make(map[msg.NodeID][]uint64),
+	}
+	// Deterministic order regardless of map iteration.
+	for id := msg.NodeID(1); len(a.disks) < len(disks); id++ {
+		if cap, ok := disks[id]; ok {
+			a.disks = append(a.disks, diskSpace{id: id, capacity: cap})
+		}
+		if id > 1<<20 {
+			panic("meta: disk IDs out of expected range")
+		}
+	}
+	return a
+}
+
+// Alloc returns count fresh blocks, striped round-robin across disks.
+func (a *Allocator) Alloc(count int) ([]msg.BlockRef, msg.Errno) {
+	if len(a.disks) == 0 {
+		return nil, msg.ErrNoSpace
+	}
+	refs := make([]msg.BlockRef, 0, count)
+	for len(refs) < count {
+		ref, ok := a.allocOne()
+		if !ok {
+			// Roll back so failed allocations don't leak.
+			a.Free(refs)
+			return nil, msg.ErrNoSpace
+		}
+		refs = append(refs, ref)
+	}
+	return refs, msg.OK
+}
+
+func (a *Allocator) allocOne() (msg.BlockRef, bool) {
+	for tries := 0; tries < len(a.disks); tries++ {
+		d := &a.disks[a.next]
+		a.next = (a.next + 1) % len(a.disks)
+		if fl := a.frees[d.id]; len(fl) > 0 {
+			b := fl[len(fl)-1]
+			a.frees[d.id] = fl[:len(fl)-1]
+			ref := msg.BlockRef{Disk: d.id, Num: b}
+			a.inUse[ref] = true
+			return ref, true
+		}
+		if d.cursor < d.capacity {
+			ref := msg.BlockRef{Disk: d.id, Num: d.cursor}
+			d.cursor++
+			a.inUse[ref] = true
+			return ref, true
+		}
+	}
+	return msg.BlockRef{}, false
+}
+
+// Free returns blocks to the allocator. Double frees panic: they are
+// always a metadata-integrity bug.
+func (a *Allocator) Free(refs []msg.BlockRef) {
+	for _, ref := range refs {
+		if !a.inUse[ref] {
+			panic("meta: double free of block")
+		}
+		delete(a.inUse, ref)
+		a.frees[ref.Disk] = append(a.frees[ref.Disk], ref.Num)
+	}
+}
+
+// InUse returns the number of allocated blocks.
+func (a *Allocator) InUse() int { return len(a.inUse) }
+
+// Capacity returns total blocks across all disks.
+func (a *Allocator) Capacity() uint64 {
+	var total uint64
+	for _, d := range a.disks {
+		total += d.capacity
+	}
+	return total
+}

@@ -1,0 +1,343 @@
+// Package meta implements the Storage Tank server's private metadata
+// store: the directory tree, inodes, and the allocation maps that place
+// file blocks on the shared SAN disks. Per the paper (§1.1), metadata
+// lives on server-private storage — the shared disks hold only file data
+// blocks — so this package is purely server-side state.
+package meta
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/msg"
+)
+
+// RootIno is the inode number of the root directory.
+const RootIno msg.ObjectID = 1
+
+// Inode is one file-system object.
+type Inode struct {
+	Ino     msg.ObjectID
+	IsDir   bool
+	Size    uint64
+	Version uint64 // modification counter, stands in for mtime
+	Nlink   uint32
+	Blocks  []msg.BlockRef
+	// children maps names to inode numbers for directories.
+	children map[string]msg.ObjectID
+}
+
+// Attr renders the inode's wire-visible metadata.
+func (in *Inode) Attr() msg.Attr {
+	return msg.Attr{
+		Ino: in.Ino, IsDir: in.IsDir, Size: in.Size,
+		Version: in.Version, Nlink: in.Nlink,
+	}
+}
+
+// Store is the metadata database. It is not safe for concurrent use; the
+// owning server serializes access.
+type Store struct {
+	inodes  map[msg.ObjectID]*Inode
+	nextIno msg.ObjectID
+	alloc   *Allocator
+	// epochSeq is the durable client-epoch counter: epochs stay monotonic
+	// across server restarts (the store lives on the server's private
+	// highly-available storage, §6).
+	epochSeq msg.Epoch
+}
+
+// NewStore creates a store containing only the root directory, allocating
+// file blocks from alloc.
+func NewStore(alloc *Allocator) *Store {
+	s := &Store{
+		inodes:  make(map[msg.ObjectID]*Inode),
+		nextIno: RootIno + 1,
+		alloc:   alloc,
+	}
+	s.inodes[RootIno] = &Inode{
+		Ino: RootIno, IsDir: true, Nlink: 2,
+		children: make(map[string]msg.ObjectID),
+	}
+	return s
+}
+
+// SplitPath normalizes an absolute slash-separated path into components.
+// It returns ok=false for relative or empty paths.
+func SplitPath(path string) (parts []string, ok bool) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, false
+	}
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+			// skip
+		case "..":
+			if len(parts) == 0 {
+				return nil, false
+			}
+			parts = parts[:len(parts)-1]
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, true
+}
+
+// Get returns the inode by number.
+func (s *Store) Get(ino msg.ObjectID) (*Inode, msg.Errno) {
+	in, ok := s.inodes[ino]
+	if !ok {
+		return nil, msg.ErrNoEnt
+	}
+	return in, msg.OK
+}
+
+// Lookup resolves an absolute path.
+func (s *Store) Lookup(path string) (*Inode, msg.Errno) {
+	parts, ok := SplitPath(path)
+	if !ok {
+		return nil, msg.ErrNoEnt
+	}
+	cur := s.inodes[RootIno]
+	for _, name := range parts {
+		if !cur.IsDir {
+			return nil, msg.ErrNotDir
+		}
+		next, ok := cur.children[name]
+		if !ok {
+			return nil, msg.ErrNoEnt
+		}
+		cur = s.inodes[next]
+	}
+	return cur, msg.OK
+}
+
+// lookupParent resolves all but the last component, returning the parent
+// directory and the final name.
+func (s *Store) lookupParent(path string) (*Inode, string, msg.Errno) {
+	parts, ok := SplitPath(path)
+	if !ok || len(parts) == 0 {
+		return nil, "", msg.ErrNoEnt
+	}
+	dirParts, name := parts[:len(parts)-1], parts[len(parts)-1]
+	cur := s.inodes[RootIno]
+	for _, p := range dirParts {
+		if !cur.IsDir {
+			return nil, "", msg.ErrNotDir
+		}
+		next, ok := cur.children[p]
+		if !ok {
+			return nil, "", msg.ErrNoEnt
+		}
+		cur = s.inodes[next]
+	}
+	if !cur.IsDir {
+		return nil, "", msg.ErrNotDir
+	}
+	return cur, name, msg.OK
+}
+
+// Create makes a new file or directory at path. The parent must exist.
+func (s *Store) Create(path string, isDir bool) (*Inode, msg.Errno) {
+	parent, name, errno := s.lookupParent(path)
+	if errno != msg.OK {
+		return nil, errno
+	}
+	if _, exists := parent.children[name]; exists {
+		return nil, msg.ErrExist
+	}
+	in := &Inode{Ino: s.nextIno, IsDir: isDir, Nlink: 1}
+	s.nextIno++
+	if isDir {
+		in.Nlink = 2
+		in.children = make(map[string]msg.ObjectID)
+		parent.Nlink++
+	}
+	s.inodes[in.Ino] = in
+	parent.children[name] = in.Ino
+	parent.Version++
+	return in, msg.OK
+}
+
+// Unlink removes the object at path. Directories must be empty.
+func (s *Store) Unlink(path string) msg.Errno {
+	parent, name, errno := s.lookupParent(path)
+	if errno != msg.OK {
+		return errno
+	}
+	ino, ok := parent.children[name]
+	if !ok {
+		return msg.ErrNoEnt
+	}
+	in := s.inodes[ino]
+	if in.IsDir {
+		if len(in.children) > 0 {
+			return msg.ErrExist
+		}
+		parent.Nlink--
+	}
+	// Return the object's blocks to the allocator.
+	s.alloc.Free(in.Blocks)
+	delete(parent.children, name)
+	delete(s.inodes, ino)
+	parent.Version++
+	return msg.OK
+}
+
+// Readdir lists a directory in sorted name order.
+func (s *Store) Readdir(ino msg.ObjectID) ([]msg.DirEntry, msg.Errno) {
+	in, errno := s.Get(ino)
+	if errno != msg.OK {
+		return nil, errno
+	}
+	if !in.IsDir {
+		return nil, msg.ErrNotDir
+	}
+	names := make([]string, 0, len(in.children))
+	for n := range in.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make([]msg.DirEntry, 0, len(names))
+	for _, n := range names {
+		child := s.inodes[in.children[n]]
+		entries = append(entries, msg.DirEntry{Name: n, Ino: child.Ino, IsDir: child.IsDir})
+	}
+	return entries, msg.OK
+}
+
+// SetSize updates a file's size and bumps its version. Shrinking does not
+// free blocks (Truncate does).
+func (s *Store) SetSize(ino msg.ObjectID, size uint64) (*Inode, msg.Errno) {
+	in, errno := s.Get(ino)
+	if errno != msg.OK {
+		return nil, errno
+	}
+	if in.IsDir {
+		return nil, msg.ErrIsDir
+	}
+	if in.Size != size {
+		in.Size = size
+		in.Version++
+	}
+	return in, msg.OK
+}
+
+// Touch bumps an object's version (any data modification observable
+// through attribute polling, e.g. a server-mediated write).
+func (s *Store) Touch(ino msg.ObjectID) msg.Errno {
+	in, errno := s.Get(ino)
+	if errno != msg.OK {
+		return errno
+	}
+	in.Version++
+	return msg.OK
+}
+
+// AllocBlocks extends a file by count blocks and returns the inode.
+func (s *Store) AllocBlocks(ino msg.ObjectID, count uint32) (*Inode, msg.Errno) {
+	in, errno := s.Get(ino)
+	if errno != msg.OK {
+		return nil, errno
+	}
+	if in.IsDir {
+		return nil, msg.ErrIsDir
+	}
+	refs, errno := s.alloc.Alloc(int(count))
+	if errno != msg.OK {
+		return nil, errno
+	}
+	in.Blocks = append(in.Blocks, refs...)
+	in.Version++
+	return in, msg.OK
+}
+
+// Truncate shrinks a file to nBlocks blocks, freeing the tail.
+func (s *Store) Truncate(ino msg.ObjectID, nBlocks int) (*Inode, msg.Errno) {
+	in, errno := s.Get(ino)
+	if errno != msg.OK {
+		return nil, errno
+	}
+	if in.IsDir {
+		return nil, msg.ErrIsDir
+	}
+	if nBlocks < len(in.Blocks) {
+		s.alloc.Free(in.Blocks[nBlocks:])
+		in.Blocks = in.Blocks[:nBlocks]
+		in.Version++
+	}
+	return in, msg.OK
+}
+
+// Rename moves the object at oldPath to newPath (which must not exist;
+// its parent must). Directories move with their subtrees.
+func (s *Store) Rename(oldPath, newPath string) msg.Errno {
+	oldParent, oldName, errno := s.lookupParent(oldPath)
+	if errno != msg.OK {
+		return errno
+	}
+	ino, ok := oldParent.children[oldName]
+	if !ok {
+		return msg.ErrNoEnt
+	}
+	newParent, newName, errno := s.lookupParent(newPath)
+	if errno != msg.OK {
+		return errno
+	}
+	if _, exists := newParent.children[newName]; exists {
+		return msg.ErrExist
+	}
+	// Moving a directory under itself would orphan the subtree.
+	moved := s.inodes[ino]
+	if moved.IsDir {
+		for p := newParent; p != nil; {
+			if p.Ino == ino {
+				return msg.ErrConflict
+			}
+			parent := s.parentOf(p.Ino)
+			if parent == nil || parent.Ino == p.Ino {
+				break
+			}
+			p = parent
+		}
+	}
+	delete(oldParent.children, oldName)
+	newParent.children[newName] = ino
+	if moved.IsDir && oldParent != newParent {
+		oldParent.Nlink--
+		newParent.Nlink++
+	}
+	oldParent.Version++
+	newParent.Version++
+	return msg.OK
+}
+
+// parentOf finds the directory containing ino (nil for the root or a
+// detached inode). Linear in directory count; fine at metadata scale.
+func (s *Store) parentOf(ino msg.ObjectID) *Inode {
+	if ino == RootIno {
+		return s.inodes[RootIno]
+	}
+	for _, in := range s.inodes {
+		if !in.IsDir {
+			continue
+		}
+		for _, child := range in.children {
+			if child == ino {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live inodes (including the root).
+func (s *Store) Count() int { return len(s.inodes) }
+
+// NextEpoch mints the next client-registration epoch, durably monotonic
+// across server restarts.
+func (s *Store) NextEpoch() msg.Epoch {
+	s.epochSeq++
+	return s.epochSeq
+}

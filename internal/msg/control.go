@@ -1,0 +1,441 @@
+package msg
+
+// LockMode is the strength of a data lock on a file object. Data locks
+// protect cached data: a shared lock permits read caching, an exclusive
+// lock permits write-back caching.
+type LockMode uint8
+
+const (
+	LockNone LockMode = iota
+	LockShared
+	LockExclusive
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LockNone:
+		return "none"
+	case LockShared:
+		return "shared"
+	case LockExclusive:
+		return "exclusive"
+	}
+	return "invalid"
+}
+
+// Compatible reports whether two data locks may be held concurrently by
+// different clients.
+func (m LockMode) Compatible(o LockMode) bool {
+	return m != LockExclusive && o != LockExclusive || m == LockNone || o == LockNone
+}
+
+// Covers reports whether holding m suffices for an operation needing o.
+func (m LockMode) Covers(o LockMode) bool { return m >= o }
+
+// Attr is an object's metadata as served over the control network.
+// Version is a server-side modification counter standing in for mtime
+// (the system never relies on absolute time).
+type Attr struct {
+	Ino     ObjectID
+	IsDir   bool
+	Size    uint64
+	Version uint64
+	Nlink   uint32
+}
+
+// BlockRef addresses one block of file data on the SAN.
+type BlockRef struct {
+	Disk NodeID
+	Num  uint64
+}
+
+// DirEntry is one name in a directory listing.
+type DirEntry struct {
+	Name  string
+	Ino   ObjectID
+	IsDir bool
+}
+
+// ReqHeader is common to all client-initiated control requests. Req is the
+// at-most-once identifier; Epoch is the client's current registration.
+type ReqHeader struct {
+	Client NodeID
+	Req    ReqID
+	Epoch  Epoch
+}
+
+// Request is a client-initiated control-network message. The server
+// answers every Request with a Reply carrying the same ReqID, either ACK
+// (executed; renews the sender's lease) or NACK (client is suspect/stale).
+type Request interface {
+	Message
+	Hdr() *ReqHeader
+}
+
+func (h *ReqHeader) Hdr() *ReqHeader { return h }
+
+// --- Requests -------------------------------------------------------------
+
+// Rejoin (re)registers a client with the server. It is the only request a
+// suspect or expired client may make; a successful Rejoin returns a fresh
+// epoch and implies the client holds no locks and caches nothing.
+type Rejoin struct{ ReqHeader }
+
+func (*Rejoin) Kind() Kind { return KindControlReq }
+func (*Rejoin) Size() int  { return 24 }
+
+// KeepAlive is the paper's special-purpose NULL message (§3.1): it encodes
+// no file-system or lock operation and exists solely to elicit an ACK that
+// renews the lease. Sent only in phase 2, or by idle clients that still
+// cache data.
+type KeepAlive struct{ ReqHeader }
+
+func (*KeepAlive) Kind() Kind { return KindKeepAlive }
+func (*KeepAlive) Size() int  { return 24 }
+
+// Lookup resolves a path to an object.
+type Lookup struct {
+	ReqHeader
+	Path string
+}
+
+func (*Lookup) Kind() Kind  { return KindControlReq }
+func (m *Lookup) Size() int { return 24 + len(m.Path) }
+
+// Create makes a new file or directory at Path.
+type Create struct {
+	ReqHeader
+	Path  string
+	IsDir bool
+}
+
+func (*Create) Kind() Kind  { return KindControlReq }
+func (m *Create) Size() int { return 25 + len(m.Path) }
+
+// Unlink removes the object at Path (directories must be empty).
+type Unlink struct {
+	ReqHeader
+	Path string
+}
+
+func (*Unlink) Kind() Kind  { return KindControlReq }
+func (m *Unlink) Size() int { return 24 + len(m.Path) }
+
+// Rename moves an object; the destination must not exist.
+type Rename struct {
+	ReqHeader
+	OldPath, NewPath string
+}
+
+func (*Rename) Kind() Kind  { return KindControlReq }
+func (m *Rename) Size() int { return 24 + len(m.OldPath) + len(m.NewPath) }
+
+// Truncate shrinks a file to Blocks data blocks, freeing the tail at the
+// server's allocator.
+type Truncate struct {
+	ReqHeader
+	Ino    ObjectID
+	Blocks uint32
+}
+
+func (*Truncate) Kind() Kind { return KindControlReq }
+func (*Truncate) Size() int  { return 36 }
+
+// Open creates an open instance for an object; Write requests write access.
+type Open struct {
+	ReqHeader
+	Ino   ObjectID
+	Write bool
+}
+
+func (*Open) Kind() Kind { return KindControlReq }
+func (*Open) Size() int  { return 33 }
+
+// Close releases an open instance.
+type Close struct {
+	ReqHeader
+	Ino    ObjectID
+	Handle Handle
+}
+
+func (*Close) Kind() Kind { return KindControlReq }
+func (*Close) Size() int  { return 40 }
+
+// GetAttr fetches current metadata for an object.
+type GetAttr struct {
+	ReqHeader
+	Ino ObjectID
+}
+
+func (*GetAttr) Kind() Kind { return KindControlReq }
+func (*GetAttr) Size() int  { return 32 }
+
+// SetAttr updates file size (truncate/extend bookkeeping after writes).
+type SetAttr struct {
+	ReqHeader
+	Ino     ObjectID
+	NewSize uint64
+}
+
+func (*SetAttr) Kind() Kind { return KindControlReq }
+func (*SetAttr) Size() int  { return 40 }
+
+// Readdir lists a directory.
+type Readdir struct {
+	ReqHeader
+	Ino ObjectID
+}
+
+func (*Readdir) Kind() Kind { return KindControlReq }
+func (*Readdir) Size() int  { return 32 }
+
+// GetBlocks fetches an object's block map so the client can perform direct
+// SAN I/O.
+type GetBlocks struct {
+	ReqHeader
+	Ino ObjectID
+}
+
+func (*GetBlocks) Kind() Kind { return KindControlReq }
+func (*GetBlocks) Size() int  { return 32 }
+
+// AllocBlocks extends an object by Count new blocks.
+type AllocBlocks struct {
+	ReqHeader
+	Ino   ObjectID
+	Count uint32
+}
+
+func (*AllocBlocks) Kind() Kind { return KindControlReq }
+func (*AllocBlocks) Size() int  { return 36 }
+
+// LockAcquire asks for a data lock of the given mode. The server replies
+// when the lock is granted (demanding it from conflicting holders first if
+// necessary); the reliable-request layer keeps retrying meanwhile.
+type LockAcquire struct {
+	ReqHeader
+	Ino  ObjectID
+	Mode LockMode
+}
+
+func (*LockAcquire) Kind() Kind { return KindControlReq }
+func (*LockAcquire) Size() int  { return 33 }
+
+// LockRelease gives a data lock back (or downgrades it to Mode).
+type LockRelease struct {
+	ReqHeader
+	Ino ObjectID
+	// To is the mode retained after release; LockNone releases entirely.
+	To LockMode
+}
+
+func (*LockRelease) Kind() Kind { return KindControlReq }
+func (*LockRelease) Size() int  { return 33 }
+
+// LockDowngraded tells the server a demanded downgrade is complete: dirty
+// data covered by the lock has been flushed and the cache adjusted.
+type LockDowngraded struct {
+	ReqHeader
+	Ino    ObjectID
+	To     LockMode
+	Demand DemandID
+}
+
+func (*LockDowngraded) Kind() Kind { return KindControlReq }
+func (*LockDowngraded) Size() int  { return 41 }
+
+// LockClaim is one lock a client re-asserts after a server restart.
+type LockClaim struct {
+	Ino  ObjectID
+	Mode LockMode
+}
+
+// Reassert restores a client's registration and lock state at a freshly
+// restarted server (§6: "client-driven lock reassertion"). It is only
+// accepted during the server's post-restart grace period, and only if
+// the claimed locks are compatible with other reasserted claims. A
+// client may reassert only while its own lease is still running — its
+// locks are contractually protected for that long, even across a server
+// restart.
+type Reassert struct {
+	ReqHeader
+	Locks []LockClaim
+}
+
+func (*Reassert) Kind() Kind  { return KindControlReq }
+func (m *Reassert) Size() int { return 24 + 9*len(m.Locks) }
+
+// Heartbeat is baseline traffic for the Frangipani-style lease policy: a
+// periodic I-am-alive that the server must record per client.
+type Heartbeat struct{ ReqHeader }
+
+func (*Heartbeat) Kind() Kind { return KindLeaseAdmin }
+func (*Heartbeat) Size() int  { return 24 }
+
+// RenewObjects is baseline traffic for the V-style per-object lease
+// policy: the client enumerates every cached object whose lease it renews.
+type RenewObjects struct {
+	ReqHeader
+	Inos []ObjectID
+}
+
+func (*RenewObjects) Kind() Kind  { return KindLeaseAdmin }
+func (m *RenewObjects) Size() int { return 24 + 8*len(m.Inos) }
+
+// FuncRead is baseline traffic for the function-shipping data path
+// (traditional client/server file system): the server performs the disk
+// read and returns the data over the control network.
+type FuncRead struct {
+	ReqHeader
+	Ino    ObjectID
+	Offset uint64
+	Length uint32
+}
+
+func (*FuncRead) Kind() Kind { return KindControlReq }
+func (*FuncRead) Size() int  { return 44 }
+
+// FuncWrite ships data to the server, which performs the disk write.
+type FuncWrite struct {
+	ReqHeader
+	Ino    ObjectID
+	Offset uint64
+	Data   []byte
+}
+
+func (*FuncWrite) Kind() Kind  { return KindControlReq }
+func (m *FuncWrite) Size() int { return 40 + len(m.Data) }
+
+// --- Replies ---------------------------------------------------------------
+
+// Result is the typed payload of a successful Reply.
+type Result interface{ resultMarker() }
+
+// Reply answers a Request. Status NACK means the server refuses to serve
+// this client (suspect, expired, or stale epoch); Err reports file-system
+// outcomes within an ACK.
+type Reply struct {
+	Client NodeID
+	Req    ReqID
+	Status Status
+	Err    Errno
+	Body   Result
+}
+
+func (*Reply) Kind() Kind { return KindControlReply }
+func (r *Reply) Size() int {
+	n := 16
+	if b, ok := r.Body.(interface{ resultSize() int }); ok {
+		n += b.resultSize()
+	}
+	return n
+}
+
+// LookupRes and friends carry request results.
+type LookupRes struct{ Attr Attr }
+
+func (LookupRes) resultMarker()   {}
+func (LookupRes) resultSize() int { return 29 }
+
+// CreateRes returns the new object's metadata.
+type CreateRes struct{ Attr Attr }
+
+func (CreateRes) resultMarker()   {}
+func (CreateRes) resultSize() int { return 29 }
+
+// OpenRes returns the open handle and current metadata.
+type OpenRes struct {
+	Handle Handle
+	Attr   Attr
+}
+
+func (OpenRes) resultMarker()   {}
+func (OpenRes) resultSize() int { return 37 }
+
+// AttrRes returns metadata.
+type AttrRes struct{ Attr Attr }
+
+func (AttrRes) resultMarker()   {}
+func (AttrRes) resultSize() int { return 29 }
+
+// ReaddirRes returns directory entries.
+type ReaddirRes struct{ Entries []DirEntry }
+
+func (ReaddirRes) resultMarker() {}
+func (r ReaddirRes) resultSize() int {
+	n := 4
+	for _, e := range r.Entries {
+		n += 9 + len(e.Name)
+	}
+	return n
+}
+
+// BlocksRes returns an object's block map and current metadata.
+type BlocksRes struct {
+	Attr   Attr
+	Blocks []BlockRef
+}
+
+func (BlocksRes) resultMarker()     {}
+func (r BlocksRes) resultSize() int { return 29 + 12*len(r.Blocks) }
+
+// AllocRes returns the full block map after extension.
+type AllocRes struct {
+	Attr   Attr
+	Blocks []BlockRef
+}
+
+func (AllocRes) resultMarker()     {}
+func (r AllocRes) resultSize() int { return 29 + 12*len(r.Blocks) }
+
+// LockRes confirms the mode now held.
+type LockRes struct{ Mode LockMode }
+
+func (LockRes) resultMarker()   {}
+func (LockRes) resultSize() int { return 1 }
+
+// RejoinRes returns the client's fresh epoch.
+type RejoinRes struct{ Epoch Epoch }
+
+func (RejoinRes) resultMarker()   {}
+func (RejoinRes) resultSize() int { return 4 }
+
+// ReassertRes returns the fresh epoch after a successful reassertion.
+type ReassertRes struct{ Epoch Epoch }
+
+func (ReassertRes) resultMarker()   {}
+func (ReassertRes) resultSize() int { return 4 }
+
+// FuncReadRes returns function-shipped data.
+type FuncReadRes struct{ Data []byte }
+
+func (FuncReadRes) resultMarker()     {}
+func (r FuncReadRes) resultSize() int { return 4 + len(r.Data) }
+
+// --- Server-initiated ------------------------------------------------------
+
+// Demand asks a lock holder to downgrade to Mode (§1.2: the server
+// "demands" the lock). It requires an immediate transport-level DemandAck;
+// absence of the ack after retries is the delivery failure that moves the
+// server's lease authority against the client.
+type Demand struct {
+	ID   DemandID
+	Ino  ObjectID
+	Mode LockMode
+	// Server identifies the demanding server so the client can ack.
+	Server NodeID
+}
+
+func (*Demand) Kind() Kind { return KindDemand }
+func (*Demand) Size() int  { return 25 }
+
+// DemandAck is the client's immediate acknowledgment of a Demand. It does
+// not mean the downgrade is complete — LockDowngraded reports that — only
+// that the client is alive and has accepted the demand.
+type DemandAck struct {
+	Client NodeID
+	ID     DemandID
+}
+
+func (*DemandAck) Kind() Kind { return KindDemandAck }
+func (*DemandAck) Size() int  { return 12 }

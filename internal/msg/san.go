@@ -1,0 +1,110 @@
+package msg
+
+import "time"
+
+// SAN messages. Disks are deliberately dumb (§2): they respond to block
+// I/O, maintain a fence table, and — for the GFS-baseline only — a small
+// table of expiring disk-address-range locks (dlocks). They never initiate
+// messages and keep no view of the network.
+
+// DiskRead asks a disk for one block.
+type DiskRead struct {
+	Client NodeID
+	Req    ReqID
+	Block  uint64
+}
+
+func (*DiskRead) Kind() Kind { return KindSANIO }
+func (*DiskRead) Size() int  { return 20 }
+
+// DiskReadRes returns block contents. Ver is the oracle's version stamp
+// for the data (consistency checking only; not protocol-visible).
+type DiskReadRes struct {
+	Req  ReqID
+	Err  Errno
+	Data []byte
+	Ver  uint64
+}
+
+func (*DiskReadRes) Kind() Kind  { return KindSANReply }
+func (m *DiskReadRes) Size() int { return 17 + len(m.Data) }
+
+// DiskWrite writes one block. Ver is the oracle version stamp assigned
+// when the data was produced in the writer's cache.
+type DiskWrite struct {
+	Client NodeID
+	Req    ReqID
+	Block  uint64
+	Data   []byte
+	Ver    uint64
+}
+
+func (*DiskWrite) Kind() Kind  { return KindSANIO }
+func (m *DiskWrite) Size() int { return 28 + len(m.Data) }
+
+// DiskWriteRes acknowledges a write (or reports ErrFenced/ErrRange).
+type DiskWriteRes struct {
+	Req ReqID
+	Err Errno
+}
+
+func (*DiskWriteRes) Kind() Kind { return KindSANReply }
+func (*DiskWriteRes) Size() int  { return 9 }
+
+// FenceSet instructs a disk to start (On) or stop (off) rejecting all I/O
+// from Target. Only servers send it. Fences persist until explicitly
+// cleared — the device enforces the denial indefinitely (§1.2).
+type FenceSet struct {
+	Admin  NodeID
+	Req    ReqID
+	Target NodeID
+	On     bool
+}
+
+func (*FenceSet) Kind() Kind { return KindFence }
+func (*FenceSet) Size() int  { return 17 }
+
+// FenceRes acknowledges a FenceSet.
+type FenceRes struct {
+	Req ReqID
+	Err Errno
+}
+
+func (*FenceRes) Kind() Kind { return KindFence }
+func (*FenceRes) Size() int  { return 9 }
+
+// DLockAcquire asks the disk for a GFS-style expiring lock over the block
+// range [Start, Start+Count). Used only by the dlock baseline (§5): the
+// disk, not a server, is the locking authority, and the lock times out
+// after TTL on the disk's clock.
+type DLockAcquire struct {
+	Client NodeID
+	Req    ReqID
+	Start  uint64
+	Count  uint32
+	TTL    time.Duration
+}
+
+func (*DLockAcquire) Kind() Kind { return KindSANIO }
+func (*DLockAcquire) Size() int  { return 36 }
+
+// DLockRelease releases a dlock before its TTL expires.
+type DLockRelease struct {
+	Client NodeID
+	Req    ReqID
+	Start  uint64
+	Count  uint32
+}
+
+func (*DLockRelease) Kind() Kind { return KindSANIO }
+func (*DLockRelease) Size() int  { return 28 }
+
+// DLockRes answers either dlock operation; Err is ErrDLockHeld when the
+// range is locked by another initiator.
+type DLockRes struct {
+	Req ReqID
+	Err Errno
+}
+
+func (*DLockRes) Kind() Kind { return KindSANReply }
+func (*DLockRes) Size() int  { return 9 }

@@ -1,0 +1,377 @@
+// Package multiserver builds installations with a CLUSTER of metadata
+// servers (Fig 1 shows several), the namespace partitioned across them
+// by path prefix. It realizes the paper's lease granularity argument
+// (§4) literally: a client node holds ONE lease per server it talks to —
+// implemented as one protocol instance (channel + lease state machine +
+// cache) per (client, server) pair — so a failure between the client and
+// one server invalidates exactly the locks held with that server and
+// nothing else.
+package multiserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/checker"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/msg"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Options configures a multi-server installation.
+type Options struct {
+	Seed    int64
+	Servers int
+	Clients int
+	// DisksPerServer: each server owns its own SAN devices (its shard's
+	// data never mixes with another shard's allocator).
+	DisksPerServer int
+	DiskBlocks     uint64
+	Core           core.Config
+}
+
+// DefaultOptions returns a 2-server, 2-client installation.
+func DefaultOptions() Options {
+	cfg := core.DefaultConfig()
+	cfg.Tau = 10 * time.Second
+	cfg.RetryInterval = 200 * time.Millisecond
+	return Options{
+		Seed: 1, Servers: 2, Clients: 2,
+		DisksPerServer: 1, DiskBlocks: 1 << 14,
+		Core: cfg,
+	}
+}
+
+// Node IDs: servers 1..S, clients 10.., disks 1000.. .
+func serverID(i int) msg.NodeID { return msg.NodeID(1 + i) }
+
+// ClientID returns the node ID of client index i.
+func ClientID(i int) msg.NodeID { return msg.NodeID(10 + i) }
+
+// Shard is one server's slice of the namespace.
+type Shard struct {
+	// Prefix is the path prefix this server owns ("/s0", "/s1", ...).
+	Prefix string
+	Server *server.Server
+	ID     msg.NodeID
+}
+
+// Node is one client machine: a router over per-server protocol
+// instances. Every sub-client has its own channel, lease, lock set, and
+// cache — the paper's one-lease-per-pair, exactly.
+type Node struct {
+	inst *Installation
+	idx  int
+	subs map[msg.NodeID]*client.Client
+
+	// handle routing: node-level handles map to (server, sub-handle).
+	nextH   msg.Handle
+	handles map[msg.Handle]routedHandle
+}
+
+type routedHandle struct {
+	server msg.NodeID
+	h      msg.Handle
+}
+
+// Installation is the full multi-server world.
+type Installation struct {
+	Opts    Options
+	Sched   *sim.Scheduler
+	Control *simnet.Network
+	SAN     *simnet.Network
+	Shards  []Shard
+	Nodes   []*Node
+	// Checkers is one consistency oracle per shard: object IDs (inode
+	// numbers) are per-server, so histories must not mix across shards.
+	Checkers []*checker.Checker
+	Reg      *stats.Registry
+	// diskOwner routes SAN replies to the sub-client whose shard owns
+	// the disk.
+	diskOwner map[msg.NodeID]msg.NodeID
+}
+
+// New builds the installation: S servers (each owning its disks and the
+// namespace under its prefix), C client nodes with one sub-client per
+// server.
+func New(opts Options) *Installation {
+	if opts.Servers < 1 || opts.Clients < 1 {
+		panic("multiserver: need at least one server and one client")
+	}
+	s := sim.NewScheduler(opts.Seed)
+	reg := stats.NewRegistry()
+	inst := &Installation{
+		Opts:      opts,
+		Sched:     s,
+		Control:   simnet.New(s, simnet.DefaultControlConfig()),
+		SAN:       simnet.New(s, simnet.DefaultSANConfig()),
+		Reg:       reg,
+		diskOwner: make(map[msg.NodeID]msg.NodeID),
+	}
+
+	nextDisk := msg.NodeID(1000)
+	for si := 0; si < opts.Servers; si++ {
+		inst.Checkers = append(inst.Checkers, checker.New(s))
+		diskMap := make(map[msg.NodeID]uint64, opts.DisksPerServer)
+		for d := 0; d < opts.DisksPerServer; d++ {
+			id := nextDisk
+			nextDisk++
+			inst.diskOwner[id] = serverID(si)
+			dev := disk.New(id, disk.Config{Blocks: opts.DiskBlocks, ServiceTime: 100 * time.Microsecond},
+				s.NewClock(1, 0),
+				func(to msg.NodeID, m msg.Message) { inst.SAN.Send(id, to, m) },
+				reg, disk.Observer{})
+			inst.SAN.Attach(id, dev.Deliver)
+			diskMap[id] = opts.DiskBlocks
+		}
+		sid := serverID(si)
+		srv := server.New(sid, server.Config{
+			Core: opts.Core, Policy: baselines.StorageTank(), Disks: diskMap,
+		}, s.NewClock(1, 0),
+			func(to msg.NodeID, m msg.Message) { inst.Control.Send(sid, to, m) },
+			func(to msg.NodeID, m msg.Message) { inst.SAN.Send(sid, to, m) },
+			reg)
+		inst.Control.Attach(sid, srv.Deliver)
+		inst.SAN.Attach(sid, srv.DeliverSAN)
+		inst.Shards = append(inst.Shards, Shard{
+			Prefix: fmt.Sprintf("/s%d", si), Server: srv, ID: sid,
+		})
+	}
+
+	for ci := 0; ci < opts.Clients; ci++ {
+		node := &Node{
+			inst:    inst,
+			idx:     ci,
+			subs:    make(map[msg.NodeID]*client.Client),
+			handles: make(map[msg.Handle]routedHandle),
+		}
+		cid := ClientID(ci)
+		// One protocol instance per server. All share the node's network
+		// address; the dispatcher routes inbound traffic by source.
+		for si, sh := range inst.Shards {
+			sub := client.New(cid, sh.ID, client.Config{Core: opts.Core, Policy: baselines.StorageTank()},
+				s.NewClock(1, 0),
+				func(to msg.NodeID, m msg.Message) { inst.Control.Send(cid, to, m) },
+				func(to msg.NodeID, m msg.Message) { inst.SAN.Send(cid, to, m) },
+				inst.Checkers[si], reg)
+			node.subs[sh.ID] = sub
+		}
+		inst.Nodes = append(inst.Nodes, node)
+		inst.Control.Attach(cid, node.deliverControl)
+		inst.SAN.Attach(cid, node.deliverSAN)
+	}
+	return inst
+}
+
+// deliverControl routes inbound control traffic to the sub-client that
+// owns the lease with the sending server.
+func (n *Node) deliverControl(env msg.Envelope) {
+	if sub, ok := n.subs[env.From]; ok {
+		sub.Deliver(env)
+	}
+}
+
+// deliverSAN routes a disk reply to the sub-client whose shard owns the
+// disk (request IDs are per-sub, so fan-out would misdeliver).
+func (n *Node) deliverSAN(env msg.Envelope) {
+	owner, ok := n.inst.diskOwner[env.From]
+	if !ok {
+		return
+	}
+	if sub, ok := n.subs[owner]; ok {
+		sub.DeliverSAN(env)
+	}
+}
+
+// Start registers every sub-client with its server (in shard order, for
+// deterministic replay).
+func (inst *Installation) Start() {
+	for _, node := range inst.Nodes {
+		for _, sh := range inst.Shards {
+			node.subs[sh.ID].Start()
+		}
+	}
+	deadline := inst.Sched.Now().Add(time.Minute)
+	inst.Sched.RunWhile(func() bool {
+		if inst.Sched.Now().After(deadline) {
+			panic("multiserver: registration hung")
+		}
+		for _, node := range inst.Nodes {
+			for _, sub := range node.subs {
+				if !sub.Registered() {
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+// shardFor routes a path to its owning shard.
+func (inst *Installation) shardFor(path string) (*Shard, string, msg.Errno) {
+	for i := range inst.Shards {
+		sh := &inst.Shards[i]
+		if strings.HasPrefix(path, sh.Prefix+"/") || path == sh.Prefix {
+			// The shard's server owns the whole subtree; strip the prefix
+			// so each server's namespace is rooted at "/".
+			rest := strings.TrimPrefix(path, sh.Prefix)
+			if rest == "" {
+				rest = "/"
+			}
+			return sh, rest, msg.OK
+		}
+	}
+	return nil, "", msg.ErrNoEnt
+}
+
+// Sub returns the node's protocol instance for the given server.
+func (n *Node) Sub(server msg.NodeID) *client.Client { return n.subs[server] }
+
+// Open routes an open to the owning shard and returns a node-level handle.
+func (n *Node) Open(path string, write, create bool, cb func(h msg.Handle, attr msg.Attr, errno msg.Errno)) {
+	sh, rest, errno := n.inst.shardFor(path)
+	if errno != msg.OK {
+		cb(0, msg.Attr{}, errno)
+		return
+	}
+	n.subs[sh.ID].Open(rest, write, create, func(h msg.Handle, attr msg.Attr, e msg.Errno) {
+		if e != msg.OK {
+			cb(0, msg.Attr{}, e)
+			return
+		}
+		n.nextH++
+		nh := n.nextH
+		n.handles[nh] = routedHandle{server: sh.ID, h: h}
+		cb(nh, attr, msg.OK)
+	})
+}
+
+// Read routes a block read through the owning sub-client.
+func (n *Node) Read(h msg.Handle, idx uint64, cb client.DataCallback) {
+	rh, ok := n.handles[h]
+	if !ok {
+		cb(nil, msg.ErrBadHandle)
+		return
+	}
+	n.subs[rh.server].Read(rh.h, idx, cb)
+}
+
+// Write routes a block write through the owning sub-client.
+func (n *Node) Write(h msg.Handle, idx uint64, data []byte, cb client.ErrnoCallback) {
+	rh, ok := n.handles[h]
+	if !ok {
+		cb(msg.ErrBadHandle)
+		return
+	}
+	n.subs[rh.server].Write(rh.h, idx, data, cb)
+}
+
+// SyncAll flushes every shard's dirty data.
+func (n *Node) SyncAll(cb func()) {
+	remaining := len(n.subs)
+	for _, sh := range n.inst.Shards {
+		sub := n.subs[sh.ID]
+		sub.Sync(func(msg.Errno) {
+			remaining--
+			if remaining == 0 && cb != nil {
+				cb()
+			}
+		})
+	}
+}
+
+// --- synchronous conveniences (tests, experiments) ---------------------------
+
+// Await runs the simulation until done fires or maxSim passes.
+func (inst *Installation) Await(maxSim time.Duration, start func(done func())) bool {
+	finished := false
+	deadline := inst.Sched.Now().Add(maxSim)
+	start(func() { finished = true })
+	inst.Sched.RunWhile(func() bool { return !finished && !inst.Sched.Now().After(deadline) })
+	return finished
+}
+
+// MustOpen opens a path on node i.
+func (inst *Installation) MustOpen(i int, path string, write, create bool) msg.Handle {
+	var h msg.Handle
+	errno := msg.ErrStale
+	inst.Await(time.Minute, func(done func()) {
+		inst.Nodes[i].Open(path, write, create, func(gh msg.Handle, _ msg.Attr, e msg.Errno) {
+			h, errno = gh, e
+			done()
+		})
+	})
+	if errno != msg.OK {
+		panic(fmt.Sprintf("multiserver: open %s: %v", path, errno))
+	}
+	return h
+}
+
+// Write writes one block on node i.
+func (inst *Installation) Write(i int, h msg.Handle, idx uint64, data []byte) msg.Errno {
+	errno := msg.ErrStale
+	inst.Await(time.Minute, func(done func()) {
+		inst.Nodes[i].Write(h, idx, data, func(e msg.Errno) { errno = e; done() })
+	})
+	return errno
+}
+
+// Read reads one block on node i.
+func (inst *Installation) Read(i int, h msg.Handle, idx uint64) ([]byte, msg.Errno) {
+	var data []byte
+	errno := msg.ErrStale
+	inst.Await(time.Minute, func(done func()) {
+		inst.Nodes[i].Read(h, idx, func(d []byte, e msg.Errno) { data, errno = d, e; done() })
+	})
+	return data, errno
+}
+
+// Sync flushes node i on all shards.
+func (inst *Installation) Sync(i int) {
+	inst.Await(time.Minute, func(done func()) { inst.Nodes[i].SyncAll(done) })
+}
+
+// RunFor advances the simulation.
+func (inst *Installation) RunFor(d time.Duration) { inst.Sched.RunFor(d) }
+
+// IsolatePair blocks the control-network link between client node i and
+// server shard si only — the narrowest possible failure, invalidating
+// exactly one lease.
+func (inst *Installation) IsolatePair(i, si int) {
+	inst.Control.Block(ClientID(i), serverID(si))
+}
+
+// HealAll removes all control partitions.
+func (inst *Installation) HealAll() { inst.Control.Heal() }
+
+// FinalCheck audits every shard's history and returns all violations.
+func (inst *Installation) FinalCheck() []checker.Violation {
+	var out []checker.Violation
+	for _, c := range inst.Checkers {
+		c.FinalCheck()
+		out = append(out, c.Violations()...)
+	}
+	return out
+}
+
+// LeasePhases reports node i's lease phase per shard, sorted by shard.
+func (inst *Installation) LeasePhases(i int) []core.Phase {
+	ids := make([]int, 0, len(inst.Nodes[i].subs))
+	for id := range inst.Nodes[i].subs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]core.Phase, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, inst.Nodes[i].subs[msg.NodeID(id)].Lease().Phase())
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package multiserver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+func block(b byte) []byte {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestRoutingAcrossShards(t *testing.T) {
+	inst := New(DefaultOptions())
+	inst.Start()
+
+	// One file per shard, written by node 0, read by node 1.
+	h0 := inst.MustOpen(0, "/s0/a.txt", true, true)
+	h1 := inst.MustOpen(0, "/s1/b.txt", true, true)
+	if errno := inst.Write(0, h0, 0, block('A')); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	if errno := inst.Write(0, h1, 0, block('B')); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	inst.Sync(0)
+
+	r0 := inst.MustOpen(1, "/s0/a.txt", false, false)
+	r1 := inst.MustOpen(1, "/s1/b.txt", false, false)
+	if data, errno := inst.Read(1, r0, 0); errno != msg.OK || !bytes.Equal(data, block('A')) {
+		t.Fatalf("shard 0 read: %v", errno)
+	}
+	if data, errno := inst.Read(1, r1, 0); errno != msg.OK || !bytes.Equal(data, block('B')) {
+		t.Fatalf("shard 1 read: %v", errno)
+	}
+	if got := inst.FinalCheck(); len(got) != 0 {
+		t.Fatalf("violations: %v", got)
+	}
+}
+
+func TestUnroutablePath(t *testing.T) {
+	inst := New(DefaultOptions())
+	inst.Start()
+	errno := msg.OK
+	inst.Nodes[0].Open("/nowhere/x", true, true, func(_ msg.Handle, _ msg.Attr, e msg.Errno) { errno = e })
+	inst.RunFor(time.Second)
+	if errno != msg.ErrNoEnt {
+		t.Fatalf("unroutable open = %v, want ErrNoEnt", errno)
+	}
+	var rerr msg.Errno
+	inst.Nodes[0].Read(999, 0, func(_ []byte, e msg.Errno) { rerr = e })
+	if rerr != msg.ErrBadHandle {
+		t.Fatalf("bad node handle = %v", rerr)
+	}
+}
+
+// TestPerPairLeaseIndependence is §4's granularity argument as a test: a
+// failure between a client and ONE server invalidates exactly the locks
+// and cache held with that server; the client's leases with other
+// servers — and its service on their shards — continue untouched.
+func TestPerPairLeaseIndependence(t *testing.T) {
+	opts := DefaultOptions()
+	inst := New(opts)
+	inst.Start()
+	tau := opts.Core.Tau
+
+	h0 := inst.MustOpen(0, "/s0/f", true, true)
+	h1 := inst.MustOpen(0, "/s1/f", true, true)
+	if errno := inst.Write(0, h0, 0, block('X')); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	if errno := inst.Write(0, h1, 0, block('Y')); errno != msg.OK {
+		t.Fatal(errno)
+	}
+
+	// Partition ONLY the link between node 0 and server 0.
+	inst.IsolatePair(0, 0)
+
+	// The shard-1 lease must stay valid throughout; use it actively.
+	for i := 0; i < 12; i++ {
+		inst.RunFor(time.Second)
+		if errno := inst.Write(0, h1, uint64(i%4), block(byte('a'+i))); errno != msg.OK {
+			t.Fatalf("shard-1 write during shard-0 partition: %v", errno)
+		}
+	}
+	phases := inst.LeasePhases(0)
+	if phases[0] == core.Phase1Valid {
+		t.Fatalf("shard-0 lease still valid after %v of partition", 12*time.Second)
+	}
+	if phases[1] != core.Phase1Valid {
+		t.Fatalf("shard-1 lease disturbed: %v", phases[1])
+	}
+
+	// Shard 0's lock is recoverable by the other node after τ(1+ε); the
+	// partitioned sub flushed its dirty X in phase 4 first.
+	w := inst.MustOpen(1, "/s0/f", true, false)
+	if errno := inst.Write(1, w, 0, block('Z')); errno != msg.OK {
+		t.Fatalf("survivor write on shard 0: %v", errno)
+	}
+	inst.Sync(1)
+
+	// Heal; the node's shard-0 sub rejoins; everything audits clean.
+	inst.HealAll()
+	inst.RunFor(2 * tau)
+	inst.Sync(0)
+	if got := inst.FinalCheck(); len(got) != 0 {
+		t.Fatalf("violations: %v", got)
+	}
+	// Shard-1 cache was never invalidated (no recovery on that pair).
+	if n := inst.Reg.CounterValue("client.n10.lease.expiries"); n == 0 {
+		t.Fatal("expected exactly the shard-0 lease to expire")
+	}
+}
+
+func TestShardNamespacesAreDisjoint(t *testing.T) {
+	inst := New(DefaultOptions())
+	inst.Start()
+	// Same basename on both shards: distinct objects.
+	a := inst.MustOpen(0, "/s0/same", true, true)
+	b := inst.MustOpen(0, "/s1/same", true, true)
+	inst.Write(0, a, 0, block('1'))
+	inst.Write(0, b, 0, block('2'))
+	inst.Sync(0)
+	ra := inst.MustOpen(1, "/s0/same", false, false)
+	rb := inst.MustOpen(1, "/s1/same", false, false)
+	da, _ := inst.Read(1, ra, 0)
+	db, _ := inst.Read(1, rb, 0)
+	if da[0] != '1' || db[0] != '2' {
+		t.Fatalf("cross-shard bleed: %q %q", da[0], db[0])
+	}
+}

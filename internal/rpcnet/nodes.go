@@ -1,0 +1,181 @@
+package rpcnet
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/msg"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Executor is a node's serial event loop: every protocol callback —
+// message delivery from either network, and every timer — runs here, so
+// node state needs no further locking, exactly as in the simulator. The
+// queue is unbounded: protocol callbacks must never be dropped while the
+// node is alive, and never block their producers.
+type Executor struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+// NewExecutor creates an executor; call Run (usually on a goroutine).
+func NewExecutor() *Executor {
+	e := &Executor{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Submit enqueues fn; submissions after Close are dropped.
+func (e *Executor) Submit(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.queue = append(e.queue, fn)
+	e.cond.Signal()
+}
+
+// Run drains tasks until Close.
+func (e *Executor) Run() {
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		fn := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		fn()
+	}
+}
+
+// Close stops the executor after the queued tasks drain.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// UseExecutor reroutes this transport's deliveries and timers through a
+// shared executor, for nodes attached to more than one network.
+func (t *Transport) UseExecutor(e *Executor) {
+	t.submitFn = e.Submit
+	t.clock.SetExec(e.Submit)
+}
+
+// ServerNode is a live metadata server: a control listener, a SAN dialer
+// for fencing/function-shipping, and the server state machine on one
+// executor.
+type ServerNode struct {
+	Srv  *server.Server
+	Ctrl *Transport
+	SAN  *Transport
+	Exec *Executor
+	Addr net.Addr
+	Reg  *stats.Registry
+}
+
+// StartServerNode launches a server listening for clients on ctrlAddr,
+// with the given SAN disk address book.
+func StartServerNode(id msg.NodeID, cfg server.Config, ctrlAddr string,
+	diskAddrs map[msg.NodeID]string) (*ServerNode, error) {
+	n := &ServerNode{Exec: NewExecutor(), Reg: stats.NewRegistry()}
+	n.Ctrl = New(id, nil, func(env msg.Envelope) { n.Srv.Deliver(env) })
+	n.SAN = New(id, diskAddrs, func(env msg.Envelope) { n.Srv.DeliverSAN(env) })
+	n.Ctrl.UseExecutor(n.Exec)
+	n.SAN.UseExecutor(n.Exec)
+	n.Srv = server.New(id, cfg, n.Ctrl.Clock(), n.Ctrl.Send, n.SAN.Send, n.Reg)
+	addr, err := n.Ctrl.Listen(ctrlAddr)
+	if err != nil {
+		return nil, err
+	}
+	n.Addr = addr
+	go n.Exec.Run()
+	return n, nil
+}
+
+// Close shuts the node down.
+func (n *ServerNode) Close() {
+	n.Ctrl.Close()
+	n.SAN.Close()
+	n.Exec.Close()
+}
+
+// DiskNode is a live SAN block device.
+type DiskNode struct {
+	Disk *disk.Disk
+	SAN  *Transport
+	Exec *Executor
+	Addr net.Addr
+}
+
+// StartDiskNode launches a disk listening on sanAddr.
+func StartDiskNode(id msg.NodeID, cfg disk.Config, sanAddr string) (*DiskNode, error) {
+	n := &DiskNode{Exec: NewExecutor()}
+	n.SAN = New(id, nil, func(env msg.Envelope) { n.Disk.Deliver(env) })
+	n.SAN.UseExecutor(n.Exec)
+	n.Disk = disk.New(id, cfg, n.SAN.Clock(), n.SAN.Send, nil, disk.Observer{})
+	addr, err := n.SAN.Listen(sanAddr)
+	if err != nil {
+		return nil, err
+	}
+	n.Addr = addr
+	go n.Exec.Run()
+	return n, nil
+}
+
+// Close shuts the node down.
+func (n *DiskNode) Close() {
+	n.SAN.Close()
+	n.Exec.Close()
+}
+
+// ClientNode is a live file-system client.
+type ClientNode struct {
+	Client *client.Client
+	Ctrl   *Transport
+	SAN    *Transport
+	Exec   *Executor
+	Reg    *stats.Registry
+}
+
+// StartClientNode launches a client that dials the server on the control
+// network and the disks on the SAN.
+func StartClientNode(id, serverID msg.NodeID, cfg client.Config,
+	serverAddr string, diskAddrs map[msg.NodeID]string) (*ClientNode, error) {
+	n := &ClientNode{Exec: NewExecutor(), Reg: stats.NewRegistry()}
+	n.Ctrl = New(id, map[msg.NodeID]string{serverID: serverAddr},
+		func(env msg.Envelope) { n.Client.Deliver(env) })
+	n.SAN = New(id, diskAddrs, func(env msg.Envelope) { n.Client.DeliverSAN(env) })
+	n.Ctrl.UseExecutor(n.Exec)
+	n.SAN.UseExecutor(n.Exec)
+	n.Client = client.New(id, serverID, cfg, n.Ctrl.Clock(), n.Ctrl.Send, n.SAN.Send, nil, n.Reg)
+	go n.Exec.Run()
+	return n, nil
+}
+
+// Do runs fn on the client's executor and waits for it to be scheduled —
+// the bridge from synchronous callers (CLI, tests) into the event-driven
+// client. fn must arrange its own completion signalling.
+func (n *ClientNode) Do(fn func()) { n.Exec.Submit(fn) }
+
+// Close shuts the node down.
+func (n *ClientNode) Close() {
+	n.Ctrl.Close()
+	n.SAN.Close()
+	n.Exec.Close()
+}
+
+// Loopback returns "127.0.0.1:0" for ephemeral test listeners.
+func Loopback() string { return "127.0.0.1:0" }

@@ -1,0 +1,224 @@
+// Package rpcnet runs the Storage Tank protocol over real TCP. It gives
+// each node the same three things the simulator gives it — a Clock, a
+// best-effort Send, and a serial executor for all callbacks — so the
+// protocol code in internal/core, internal/client, and internal/server
+// runs unchanged.
+//
+// Datagram semantics are preserved deliberately: Send never blocks the
+// executor, a dead connection silently drops traffic until the next dial
+// attempt, and delivery gives no feedback. Retries, ACK/NACK, and
+// at-most-once execution all come from the protocol layer, as on the
+// simulated network. (A TCP connection does provide ordering per peer,
+// which the protocol does not rely on — it is safe under weaker
+// assumptions.)
+package rpcnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Transport is one node's endpoint on one network (control or SAN).
+type Transport struct {
+	self msg.NodeID
+	// addrs maps peers this node dials (clients dial servers/disks;
+	// acceptors learn peers from Hello frames).
+	addrs map[msg.NodeID]string
+
+	mu       sync.Mutex
+	conns    map[msg.NodeID]*wire.Codec
+	listener net.Listener
+	closed   bool
+
+	// exec serializes every handler and timer callback; submitFn, when
+	// set by UseExecutor, reroutes to a shared executor instead.
+	exec     *Executor
+	submitFn func(func())
+	handler  func(env msg.Envelope)
+	clock    *sim.RealClock
+
+	logf func(format string, args ...any)
+}
+
+// New creates a transport for node self that can dial the given peers.
+// handler receives every delivered envelope on the executor goroutine.
+func New(self msg.NodeID, addrs map[msg.NodeID]string, handler func(env msg.Envelope)) *Transport {
+	t := &Transport{
+		self:    self,
+		addrs:   addrs,
+		conns:   make(map[msg.NodeID]*wire.Codec),
+		exec:    NewExecutor(),
+		handler: handler,
+		logf:    func(string, ...any) {},
+	}
+	t.clock = sim.NewRealClock(t.Submit)
+	return t
+}
+
+// SetLogf installs a debug logger.
+func (t *Transport) SetLogf(f func(format string, args ...any)) {
+	if f != nil {
+		t.logf = f
+	}
+}
+
+// Clock returns the node's wall clock; its timers fire on the executor.
+func (t *Transport) Clock() sim.Clock { return t.clock }
+
+// Submit enqueues fn on the executor.
+func (t *Transport) Submit(fn func()) {
+	if t.submitFn != nil {
+		t.submitFn(fn)
+		return
+	}
+	t.exec.Submit(fn)
+}
+
+// Run processes executor tasks until Close. Call from a dedicated
+// goroutine (or main). Not needed when UseExecutor routes callbacks to a
+// shared executor.
+func (t *Transport) Run() { t.exec.Run() }
+
+// Listen accepts inbound connections on addr (servers, disks).
+func (t *Transport) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.listener = l
+	t.mu.Unlock()
+	go t.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (t *Transport) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.handleInbound(conn)
+	}
+}
+
+func (t *Transport) handleInbound(conn net.Conn) {
+	codec := wire.NewCodec(conn)
+	from, err := codec.RecvHello()
+	if err != nil {
+		t.logf("inbound hello from %v failed: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	t.logf("accepted %v from %v", from, conn.RemoteAddr())
+	t.register(from, codec)
+	t.readLoop(from, codec)
+}
+
+// register installs the connection for outbound traffic to the peer,
+// replacing (and closing) any previous one.
+func (t *Transport) register(peer msg.NodeID, codec *wire.Codec) {
+	t.mu.Lock()
+	old := t.conns[peer]
+	t.conns[peer] = codec
+	t.mu.Unlock()
+	if old != nil && old != codec {
+		old.Close()
+	}
+}
+
+func (t *Transport) dropConn(peer msg.NodeID, codec *wire.Codec) {
+	t.mu.Lock()
+	if t.conns[peer] == codec {
+		delete(t.conns, peer)
+	}
+	t.mu.Unlock()
+	codec.Close()
+}
+
+func (t *Transport) readLoop(peer msg.NodeID, codec *wire.Codec) {
+	for {
+		env, err := codec.Recv()
+		if err != nil {
+			t.logf("read from %v: %v", peer, err)
+			t.dropConn(peer, codec)
+			return
+		}
+		e := *env
+		t.Submit(func() { t.handler(e) })
+	}
+}
+
+// Send transmits best-effort. It runs the (possibly blocking) dial and
+// write on a goroutine so the executor never stalls; failures drop the
+// message, exactly like a lost datagram.
+func (t *Transport) Send(to msg.NodeID, m msg.Message) {
+	env := msg.Envelope{From: t.self, To: to, Payload: m}
+	go func() {
+		codec, err := t.connTo(to)
+		if err != nil {
+			t.logf("send to %v: %v", to, err)
+			return
+		}
+		if err := codec.Send(&env); err != nil {
+			t.logf("send to %v: %v", to, err)
+			t.dropConn(to, codec)
+		}
+	}()
+}
+
+// connTo returns (dialing if necessary) a connection to the peer.
+func (t *Transport) connTo(peer msg.NodeID) (*wire.Codec, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[peer]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[peer]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("rpcnet: transport closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("rpcnet: no address for %v and no inbound connection", peer)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: dial %v (%s): %w", peer, addr, err)
+	}
+	codec := wire.NewCodec(conn)
+	if err := codec.SendHello(t.self); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.register(peer, codec)
+	go t.readLoop(peer, codec)
+	return codec, nil
+}
+
+// Close shuts the transport down.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	l := t.listener
+	conns := t.conns
+	t.conns = make(map[msg.NodeID]*wire.Codec)
+	t.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.exec.Close()
+}

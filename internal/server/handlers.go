@@ -1,0 +1,396 @@
+package server
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// handleRequest is the control-network request path. Ordering matters:
+//
+//  1. Lease admission (Allow / mustRejoin / epoch) — a refused request is
+//     NACKed without execution and without touching the reply cache.
+//  2. At-most-once admission — duplicates are answered from cache or
+//     absorbed.
+//  3. Execution.
+func (s *Server) handleRequest(req msg.Request) {
+	h := req.Hdr()
+	client, id := h.Client, h.Req
+
+	if _, isRejoin := req.(*msg.Rejoin); isRejoin {
+		s.handleRejoin(client, id)
+		return
+	}
+	if m, isReassert := req.(*msg.Reassert); isReassert {
+		s.handleReassert(client, id, m)
+		return
+	}
+
+	// Lease admission. For the paper's policy this is Authority.Allow —
+	// a lookup in an empty map during normal operation. For baseline
+	// policies, mustRejoin covers stolen clients.
+	if !s.auth.Allow(client) || s.mustRejoin[client] {
+		if !s.cfg.NoNACK {
+			s.nack(client, id)
+		}
+		return
+	}
+	// Stale or missing registration: the client must (re)join first.
+	if s.epochs[client] == 0 || s.epochs[client] != h.Epoch {
+		s.nack(client, id)
+		return
+	}
+
+	// Baseline lease bookkeeping on the receive path.
+	s.baselineOnMessage(client, req)
+
+	disp, cached := s.rcache.Admit(client, id)
+	switch disp {
+	case core.Resend:
+		s.send(client, cached)
+		return
+	case core.Absorb:
+		return
+	}
+
+	s.transactions.Inc()
+	s.execute(client, id, req)
+}
+
+// execute runs an admitted request and replies (possibly later, for lock
+// acquires that must wait on demands).
+func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
+	ack := func(errno msg.Errno, body msg.Result) {
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: errno, Body: body})
+	}
+	switch m := req.(type) {
+	case *msg.KeepAlive:
+		// The NULL message (§3.1): no state touched; the ACK itself is
+		// the entire function.
+		ack(msg.OK, nil)
+
+	case *msg.Lookup:
+		in, errno := s.store.Lookup(m.Path)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.LookupRes{Attr: in.Attr()})
+
+	case *msg.Create:
+		in, errno := s.store.Create(m.Path, m.IsDir)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.CreateRes{Attr: in.Attr()})
+
+	case *msg.Unlink:
+		in, errno := s.store.Lookup(m.Path)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		if s.locks.HoldersOf(in.Ino) > 0 {
+			ack(msg.ErrConflict, nil)
+			return
+		}
+		ack(s.store.Unlink(m.Path), nil)
+
+	case *msg.Open:
+		in, errno := s.store.Get(m.Ino)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		s.nextHandle++
+		hs := s.handles[client]
+		if hs == nil {
+			hs = make(map[msg.Handle]msg.ObjectID)
+			s.handles[client] = hs
+		}
+		hs[s.nextHandle] = m.Ino
+		ack(msg.OK, msg.OpenRes{Handle: s.nextHandle, Attr: in.Attr()})
+
+	case *msg.Close:
+		if hs := s.handles[client]; hs != nil {
+			delete(hs, m.Handle)
+		}
+		ack(msg.OK, nil)
+
+	case *msg.GetAttr:
+		in, errno := s.store.Get(m.Ino)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.AttrRes{Attr: in.Attr()})
+
+	case *msg.SetAttr:
+		in, errno := s.store.SetSize(m.Ino, m.NewSize)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.AttrRes{Attr: in.Attr()})
+
+	case *msg.Rename:
+		if in, e := s.store.Lookup(m.OldPath); e == msg.OK && s.locks.HoldersOf(in.Ino) > 0 {
+			// Like Unlink: path changes under an active lock holder are
+			// refused (clients cache nothing about paths, but keeping the
+			// rule uniform keeps recovery simple).
+			ack(msg.ErrConflict, nil)
+			return
+		}
+		ack(s.store.Rename(m.OldPath, m.NewPath), nil)
+
+	case *msg.Truncate:
+		// Truncation invalidates other holders' cached pages; demand the
+		// object exclusively first via the normal lock path — the server
+		// only checks that the requester is the sole holder.
+		if s.locks.HoldersOf(m.Ino) > 1 ||
+			(s.locks.HoldersOf(m.Ino) == 1 && s.locks.Held(client, m.Ino) == msg.LockNone) {
+			ack(msg.ErrConflict, nil)
+			return
+		}
+		in, errno := s.store.Truncate(m.Ino, int(m.Blocks))
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.AttrRes{Attr: in.Attr()})
+
+	case *msg.Readdir:
+		entries, errno := s.store.Readdir(m.Ino)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.ReaddirRes{Entries: entries})
+
+	case *msg.GetBlocks:
+		in, errno := s.store.Get(m.Ino)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.BlocksRes{Attr: in.Attr(), Blocks: append([]msg.BlockRef(nil), in.Blocks...)})
+
+	case *msg.AllocBlocks:
+		in, errno := s.store.AllocBlocks(m.Ino, m.Count)
+		if errno != msg.OK {
+			ack(errno, nil)
+			return
+		}
+		ack(msg.OK, msg.AllocRes{Attr: in.Attr(), Blocks: append([]msg.BlockRef(nil), in.Blocks...)})
+
+	case *msg.LockAcquire:
+		if s.InGrace() {
+			// A fresh grant during recovery could conflict with a lock an
+			// unreasserted (but still-leased) client holds. Defer until
+			// the grace window closes and every pre-restart lease has
+			// provably lapsed or been reasserted.
+			remaining := s.graceUntil.Sub(s.clock.Now())
+			s.clock.AfterFunc(remaining, func() {
+				if s.stopped {
+					return
+				}
+				s.execute(client, id, req)
+			})
+			return
+		}
+		s.vLeaseTouch(client, m.Ino)
+		s.locks.Acquire(client, m.Ino, m.Mode, func(mode msg.LockMode) {
+			// The grant may fire much later; by then the client may have
+			// become suspect. Never ACK a suspect (§3): stay silent. The
+			// hold stays in the table — the suspect's previous lease may
+			// still cover the object, so nothing may be handed onward
+			// until the authority's τ(1+ε) steal clears everything the
+			// suspect holds. (Releasing here would promote waiters
+			// immediately, inside the suspect's lease window.)
+			if !s.auth.Allow(client) {
+				return
+			}
+			if s.mustRejoin[client] {
+				// Leaseless policies steal synchronously when they mark
+				// mustRejoin, which also drops the client's waiters, so
+				// this grant cannot race a pending steal: give it back.
+				s.locks.Release(client, m.Ino, msg.LockNone)
+				return
+			}
+			s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.OK, Body: msg.LockRes{Mode: mode}})
+		})
+
+	case *msg.LockRelease:
+		errno := s.locks.Release(client, m.Ino, m.To)
+		if m.To == msg.LockNone {
+			s.vLeaseDrop(client, m.Ino)
+		}
+		ack(errno, msg.LockRes{Mode: m.To})
+
+	case *msg.LockDowngraded:
+		errno := s.locks.Downgraded(client, m.Ino, m.To, m.Demand)
+		if m.To == msg.LockNone {
+			s.vLeaseDrop(client, m.Ino)
+		}
+		ack(errno, msg.LockRes{Mode: m.To})
+
+	case *msg.Heartbeat:
+		// Handled in baselineOnMessage; the ACK is all that remains.
+		ack(msg.OK, nil)
+
+	case *msg.RenewObjects:
+		// Bookkeeping already done in baselineOnMessage.
+		ack(msg.OK, nil)
+
+	case *msg.FuncRead:
+		s.funcRead(client, id, m)
+
+	case *msg.FuncWrite:
+		s.funcWrite(client, id, m)
+
+	default:
+		ack(msg.ErrBadHandle, nil)
+	}
+}
+
+// handleRejoin (re)registers a client: fresh epoch, no locks, no handles,
+// empty reply-cache history, fence lifted.
+func (s *Server) handleRejoin(client msg.NodeID, id msg.ReqID) {
+	s.transactions.Inc()
+	s.auth.OnRejoin(client)
+	delete(s.mustRejoin, client)
+	// Always lift the fence: a restarted server has lost its fence
+	// bookkeeping, but a rejoining client by definition holds nothing,
+	// so unfencing is safe and idempotent.
+	s.setFence(client, false)
+	// Any residue (locks, waiters, demands) from the previous incarnation
+	// goes away; under lease recovery the authority already stole them.
+	s.locks.StealAll(client)
+	s.cancelDemandsTo(client)
+	delete(s.handles, client)
+	s.rcache.Forget(client)
+	s.baselineForget(client)
+
+	s.epochs[client] = s.store.NextEpoch()
+	// Registration counts as contact for the heartbeat baseline: the
+	// lease is established by the (ACKed) Rejoin itself. Without this, a
+	// client isolated before its first heartbeat would be stolen from
+	// immediately.
+	if s.cfg.Policy.Lease == baselines.LeaseHeartbeat {
+		s.leaseOps.Inc()
+		s.lastHeard[client] = s.clock.Now()
+		s.leaseBytes.Set(int64(len(s.lastHeard)) * heartbeatEntryBytes)
+	}
+	// Reply directly: Rejoin is idempotent by construction (each attempt
+	// may mint a new epoch; only the one the client adopts matters).
+	s.send(client, &msg.Reply{Client: client, Req: id, Status: msg.ACK, Err: msg.OK,
+		Body: msg.RejoinRes{Epoch: s.epochs[client]}})
+}
+
+// handleReassert rebuilds a client's registration and lock state after a
+// server restart (§6). Accepted only during the grace window, and only
+// if every claimed lock is compatible with other reasserted claims; a
+// refused reassertion NACKs the client into ordinary lease recovery.
+func (s *Server) handleReassert(client msg.NodeID, id msg.ReqID, m *msg.Reassert) {
+	if !s.InGrace() || s.auth.Suspect(client) {
+		s.nack(client, id)
+		return
+	}
+	s.transactions.Inc()
+	// All-or-nothing: install claims, rolling back on conflict.
+	installed := make([]msg.LockClaim, 0, len(m.Locks))
+	for _, claim := range m.Locks {
+		if !s.locks.Install(client, claim.Ino, claim.Mode) {
+			for _, done := range installed {
+				s.locks.Release(client, done.Ino, msg.LockNone)
+			}
+			s.nack(client, id)
+			return
+		}
+		installed = append(installed, claim)
+		s.vLeaseTouch(client, claim.Ino)
+	}
+	s.rcache.Forget(client)
+	s.epochs[client] = s.store.NextEpoch()
+	if s.cfg.Policy.Lease == baselines.LeaseHeartbeat {
+		s.leaseOps.Inc()
+		s.lastHeard[client] = s.clock.Now()
+		s.leaseBytes.Set(int64(len(s.lastHeard)) * heartbeatEntryBytes)
+	}
+	s.send(client, &msg.Reply{Client: client, Req: id, Status: msg.ACK, Err: msg.OK,
+		Body: msg.ReassertRes{Epoch: s.epochs[client]}})
+}
+
+// baselineOnMessage performs the per-message lease work the comparison
+// policies require — precisely the work the paper's protocol avoids.
+func (s *Server) baselineOnMessage(client msg.NodeID, req msg.Request) {
+	switch s.cfg.Policy.Lease {
+	case baselines.LeaseHeartbeat:
+		if _, ok := req.(*msg.Heartbeat); ok {
+			s.leaseOps.Inc()
+			s.lastHeard[client] = s.clock.Now()
+			s.leaseBytes.Set(int64(len(s.lastHeard)) * heartbeatEntryBytes)
+		}
+	case baselines.LeasePerObject:
+		if m, ok := req.(*msg.RenewObjects); ok {
+			now := s.clock.Now()
+			for _, ino := range m.Inos {
+				s.leaseOps.Inc()
+				s.objLeases[objLeaseKey{client, ino}] = now.Add(s.cfg.PerObjectTTL)
+			}
+			s.leaseBytes.Set(int64(len(s.objLeases)) * objLeaseEntryBytes)
+		}
+	}
+}
+
+const (
+	heartbeatEntryBytes = 16
+	objLeaseEntryBytes  = 24
+)
+
+// vLeaseTouch registers a per-object lease on first grant (V baseline).
+func (s *Server) vLeaseTouch(client msg.NodeID, ino msg.ObjectID) {
+	if s.cfg.Policy.Lease != baselines.LeasePerObject {
+		return
+	}
+	s.leaseOps.Inc()
+	s.objLeases[objLeaseKey{client, ino}] = s.clock.Now().Add(s.cfg.PerObjectTTL)
+	s.leaseBytes.Set(int64(len(s.objLeases)) * objLeaseEntryBytes)
+}
+
+// vLeaseDrop removes a per-object lease when the lock is fully released.
+func (s *Server) vLeaseDrop(client msg.NodeID, ino msg.ObjectID) {
+	if s.cfg.Policy.Lease != baselines.LeasePerObject {
+		return
+	}
+	if _, ok := s.objLeases[objLeaseKey{client, ino}]; ok {
+		s.leaseOps.Inc()
+		delete(s.objLeases, objLeaseKey{client, ino})
+		s.leaseBytes.Set(int64(len(s.objLeases)) * objLeaseEntryBytes)
+	}
+}
+
+// baselineForget clears baseline lease state on rejoin.
+func (s *Server) baselineForget(client msg.NodeID) {
+	delete(s.lastHeard, client)
+	if t := s.hbTimers[client]; t != nil {
+		t.Stop()
+		delete(s.hbTimers, client)
+	}
+	for k := range s.objLeases {
+		if k.client == client {
+			delete(s.objLeases, k)
+		}
+	}
+	if t := s.vTimers[client]; t != nil {
+		t.Stop()
+		delete(s.vTimers, client)
+	}
+	switch s.cfg.Policy.Lease {
+	case baselines.LeaseHeartbeat:
+		s.leaseBytes.Set(int64(len(s.lastHeard)) * heartbeatEntryBytes)
+	case baselines.LeasePerObject:
+		s.leaseBytes.Set(int64(len(s.objLeases)) * objLeaseEntryBytes)
+	}
+}

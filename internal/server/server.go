@@ -1,0 +1,302 @@
+// Package server implements the Storage Tank metadata server: metadata
+// transactions, the locking authority, and — via internal/core — the
+// passive lease authority. The server never touches file data on the
+// default (direct) data path; with the function-ship policy it also
+// performs disk I/O on clients' behalf, reproducing the traditional
+// client/server architecture for comparison (F1).
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/meta"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Sender transmits a message on one of the two networks.
+type Sender func(to msg.NodeID, m msg.Message)
+
+// Config parameterizes a server.
+type Config struct {
+	Core   core.Config
+	Policy baselines.Policy
+	// Disks lists the SAN block devices and their capacities.
+	Disks map[msg.NodeID]uint64
+	// ReplyCacheKeep bounds the at-most-once reply cache per client.
+	ReplyCacheKeep int
+	// HeartbeatTTL is the Frangipani-baseline lease term (defaults to
+	// Core.Tau).
+	HeartbeatTTL time.Duration
+	// PerObjectTTL is the V-baseline per-object lease term (defaults to
+	// Core.Tau).
+	PerObjectTTL time.Duration
+	// NoNACK (ablation, F5): instead of negatively acknowledging suspect
+	// clients, silently ignore their requests. Correct but wasteful —
+	// §3.3's argument for the NACK.
+	NoNACK bool
+	// DisableFence (ablation, T6): skip the fence when stealing. Exposes
+	// the slow-computer hazard §6 retains fencing for.
+	DisableFence bool
+	// Store, when non-nil, is the metadata store a restarted server
+	// recovers (the paper's server-private storage is highly available,
+	// §6); volatile state — locks, epochs, leases — is rebuilt by client
+	// reassertion during the grace period.
+	Store *meta.Store
+	// GracePeriod is how long a restarted server accepts Reassert and
+	// defers NEW lock acquires. Defaults to τ(1+ε): after that, every
+	// pre-restart lease has provably expired, so unreasserted locks are
+	// safe to hand out.
+	GracePeriod time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.ReplyCacheKeep == 0 {
+		c.ReplyCacheKeep = 128
+	}
+	if c.HeartbeatTTL == 0 {
+		c.HeartbeatTTL = c.Core.Tau
+	}
+	if c.PerObjectTTL == 0 {
+		c.PerObjectTTL = c.Core.Tau
+	}
+	if c.GracePeriod == 0 {
+		c.GracePeriod = c.Core.StealDelay()
+	}
+	return c
+}
+
+type objLeaseKey struct {
+	client msg.NodeID
+	ino    msg.ObjectID
+}
+
+// Server is one metadata server node.
+type Server struct {
+	id    msg.NodeID
+	cfg   Config
+	clock sim.Clock
+	ctrl  Sender
+	san   Sender
+
+	store  *meta.Store
+	locks  *lock.Table
+	auth   *core.Authority
+	rcache *core.ReplyCache
+
+	// Registration state (lock/FS state, not lease state): epoch per
+	// registered client, open handles.
+	epochs     map[msg.NodeID]msg.Epoch
+	handles    map[msg.NodeID]map[msg.Handle]msg.ObjectID
+	nextHandle msg.Handle
+
+	// Outstanding demands awaiting transport-level DemandAck.
+	demands map[msg.DemandID]*pendingDemand
+
+	// mustRejoin marks clients whose locks were stolen under non-lease
+	// policies; they are NACKed until they Rejoin (a merged partition's
+	// requests are "merely denied", §1.2).
+	mustRejoin map[msg.NodeID]bool
+	// fencedClients tracks who is fenced at the disks, so rejoin can lift
+	// the fence.
+	fencedClients map[msg.NodeID]bool
+
+	// Heartbeat baseline state (always resident for that policy).
+	lastHeard map[msg.NodeID]sim.Time
+	hbTimers  map[msg.NodeID]sim.Timer
+
+	// Per-object (V) baseline state.
+	objLeases map[objLeaseKey]sim.Time
+	vTimers   map[msg.NodeID]sim.Timer
+
+	// Server-side SAN requests (fencing, function-ship I/O).
+	sanPending map[msg.ReqID]*sanCall
+	nextSANReq msg.ReqID
+
+	// graceUntil bounds the post-restart reassertion window (server
+	// clock); zero for a fresh (first-boot) server.
+	graceUntil sim.Time
+	inRecovery bool
+	// stopped marks a server instance that has been replaced after a
+	// crash: it ignores deliveries and suppresses sends, so stale timers
+	// on the shared clock cannot act on the dead incarnation.
+	stopped bool
+
+	reg *stats.Registry
+	// Counters the experiments read.
+	transactions *stats.Counter
+	msgsIn       *stats.Counter
+	msgsOut      *stats.Counter
+	bytesIn      *stats.Counter
+	bytesOut     *stats.Counter
+	dataBytes    *stats.Counter // file data moved through the server
+	leaseOps     *stats.Counter // lease-specific server work (baselines)
+	leaseBytes   *stats.Gauge   // lease state held (baselines + authority)
+	nacksSent    *stats.Counter
+	demandsSent  *stats.Counter
+	fences       *stats.Counter
+}
+
+// New creates a server. reg may be nil.
+func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender, reg *stats.Registry) *Server {
+	cfg = cfg.withDefaults()
+	if err := cfg.Core.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		panic(err)
+	}
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	prefix := "server."
+	s := &Server{
+		id:            id,
+		cfg:           cfg,
+		clock:         clock,
+		ctrl:          ctrl,
+		san:           san,
+		store:         meta.NewStore(meta.NewAllocator(cfg.Disks)),
+		rcache:        core.NewReplyCache(cfg.ReplyCacheKeep, reg, prefix),
+		epochs:        make(map[msg.NodeID]msg.Epoch),
+		handles:       make(map[msg.NodeID]map[msg.Handle]msg.ObjectID),
+		demands:       make(map[msg.DemandID]*pendingDemand),
+		mustRejoin:    make(map[msg.NodeID]bool),
+		fencedClients: make(map[msg.NodeID]bool),
+		lastHeard:     make(map[msg.NodeID]sim.Time),
+		hbTimers:      make(map[msg.NodeID]sim.Timer),
+		objLeases:     make(map[objLeaseKey]sim.Time),
+		vTimers:       make(map[msg.NodeID]sim.Timer),
+		sanPending:    make(map[msg.ReqID]*sanCall),
+
+		reg:          reg,
+		transactions: reg.Counter(prefix + "transactions"),
+		msgsIn:       reg.Counter(prefix + "msgs_in"),
+		msgsOut:      reg.Counter(prefix + "msgs_out"),
+		bytesIn:      reg.Counter(prefix + "bytes_in"),
+		bytesOut:     reg.Counter(prefix + "bytes_out"),
+		dataBytes:    reg.Counter(prefix + "data_bytes"),
+		leaseOps:     reg.Counter(prefix + "lease_ops"),
+		leaseBytes:   reg.Gauge(prefix + "lease_state_bytes"),
+		nacksSent:    reg.Counter(prefix + "nacks_sent"),
+		demandsSent:  reg.Counter(prefix + "demands_sent"),
+		fences:       reg.Counter(prefix + "fences"),
+	}
+	s.locks = lock.NewTable(demanderFunc(s.sendDemand))
+	s.auth = core.NewAuthority(cfg.Core, clock, authorityActions{s}, reg, prefix)
+	if cfg.Store != nil {
+		// Restart: recover the durable store, open the grace window.
+		s.store = cfg.Store
+		s.inRecovery = true
+		s.graceUntil = clock.Now().Add(cfg.GracePeriod)
+		clock.AfterFunc(cfg.GracePeriod, func() { s.inRecovery = false })
+	}
+	return s
+}
+
+// Stop retires this server instance (crash simulation): deliveries are
+// ignored and outbound messages suppressed, so timers still pending on
+// the shared clock cannot act for the dead incarnation.
+func (s *Server) Stop() { s.stopped = true }
+
+// InGrace reports whether the post-restart reassertion window is open.
+func (s *Server) InGrace() bool {
+	return s.inRecovery && s.clock.Now().Before(s.graceUntil)
+}
+
+type demanderFunc func(holder msg.NodeID, ino msg.ObjectID, to msg.LockMode, id msg.DemandID)
+
+func (f demanderFunc) Demand(holder msg.NodeID, ino msg.ObjectID, to msg.LockMode, id msg.DemandID) {
+	f(holder, ino, to, id)
+}
+
+type authorityActions struct{ s *Server }
+
+func (a authorityActions) StealLocks(client msg.NodeID) { a.s.stealAndFence(client, true) }
+
+// ID returns the server's node ID.
+func (s *Server) ID() msg.NodeID { return s.id }
+
+// Store exposes the metadata store to tests and the cluster harness.
+func (s *Server) Store() *meta.Store { return s.store }
+
+// Locks exposes the lock table to tests.
+func (s *Server) Locks() *lock.Table { return s.locks }
+
+// Authority exposes the lease authority to tests and experiments.
+func (s *Server) Authority() *core.Authority { return s.auth }
+
+// Registered reports whether the client currently holds a valid epoch.
+func (s *Server) Registered(c msg.NodeID) bool { return s.epochs[c] != 0 }
+
+// Deliver is the server's control-network handler.
+func (s *Server) Deliver(env msg.Envelope) {
+	if s.stopped {
+		return
+	}
+	s.msgsIn.Inc()
+	s.bytesIn.Add(uint64(env.Payload.Size()))
+	switch m := env.Payload.(type) {
+	case msg.Request:
+		s.handleRequest(m)
+	case *msg.DemandAck:
+		s.handleDemandAck(m)
+	default:
+		// Unknown control traffic is dropped, like any datagram service.
+	}
+}
+
+// DeliverSAN is the server's SAN handler (fence acks, function-ship I/O
+// replies).
+func (s *Server) DeliverSAN(env msg.Envelope) {
+	if s.stopped {
+		return
+	}
+	switch m := env.Payload.(type) {
+	case *msg.FenceRes:
+		s.handleSANReply(m.Req, m, msg.OK)
+	case *msg.DiskReadRes:
+		s.handleSANReply(m.Req, m, m.Err)
+	case *msg.DiskWriteRes:
+		s.handleSANReply(m.Req, m, m.Err)
+	}
+}
+
+// send wraps the control-network sender with accounting.
+func (s *Server) send(to msg.NodeID, m msg.Message) {
+	if s.stopped {
+		return
+	}
+	s.msgsOut.Inc()
+	s.bytesOut.Add(uint64(m.Size()))
+	s.ctrl(to, m)
+}
+
+// reply completes a request through the at-most-once cache.
+func (s *Server) reply(client msg.NodeID, req msg.ReqID, r *msg.Reply) {
+	r.Client = client
+	r.Req = req
+	s.rcache.Complete(client, req, r)
+	s.send(client, r)
+}
+
+// nack refuses service without executing or caching: a NACK is not an
+// answer, and the client may legitimately retry after rejoining.
+func (s *Server) nack(client msg.NodeID, req msg.ReqID) {
+	s.nacksSent.Inc()
+	s.send(client, &msg.Reply{Client: client, Req: req, Status: msg.NACK})
+}
+
+func (s *Server) String() string {
+	return fmt.Sprintf("server %v (%s)", s.id, s.cfg.Policy.Name)
+}
+
+// BlockSize re-exports the device block size for convenience.
+const BlockSize = disk.BlockSize

@@ -1,0 +1,182 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/msg"
+)
+
+func policyFunctionShip() baselines.Policy { return baselines.FunctionShip() }
+
+// These tests poke the server's request handling directly through a
+// simulated installation, covering paths the integration suite exercises
+// only incidentally.
+
+func boot(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultOptions())
+	cl.Start()
+	return cl
+}
+
+// raw sends a hand-built request from client index 0's address and
+// returns the first Reply observed at that client.
+func raw(t *testing.T, cl *cluster.Cluster, req msg.Request) *msg.Reply {
+	t.Helper()
+	var got *msg.Reply
+	id := cluster.ClientID(0)
+	orig := cl.Clients[0]
+	cl.Control.Attach(id, func(env msg.Envelope) {
+		if r, ok := env.Payload.(*msg.Reply); ok && got == nil {
+			got = r
+		}
+	})
+	defer cl.Control.Attach(id, orig.Deliver)
+	cl.Control.Send(id, cluster.ServerID, req)
+	cl.RunFor(time.Second)
+	return got
+}
+
+func hdrFor(cl *cluster.Cluster, reqID msg.ReqID) msg.ReqHeader {
+	return msg.ReqHeader{
+		Client: cluster.ClientID(0),
+		Req:    reqID,
+		Epoch:  cl.Clients[0].Epoch(),
+	}
+}
+
+func TestUnregisteredClientNACKed(t *testing.T) {
+	cl := boot(t)
+	r := raw(t, cl, &msg.GetAttr{
+		ReqHeader: msg.ReqHeader{Client: cluster.ClientID(0), Req: 5001, Epoch: 0},
+		Ino:       1,
+	})
+	if r == nil || r.Status != msg.NACK {
+		t.Fatalf("reply = %+v, want NACK for epoch 0", r)
+	}
+}
+
+func TestLookupErrnoPaths(t *testing.T) {
+	cl := boot(t)
+	r := raw(t, cl, &msg.Lookup{ReqHeader: hdrFor(cl, 6001), Path: "/missing"})
+	if r == nil || r.Status != msg.ACK || r.Err != msg.ErrNoEnt {
+		t.Fatalf("reply = %+v, want ACK/ErrNoEnt", r)
+	}
+	r = raw(t, cl, &msg.Lookup{ReqHeader: hdrFor(cl, 6002), Path: "relative"})
+	if r == nil || r.Err != msg.ErrNoEnt {
+		t.Fatalf("relative path reply = %+v", r)
+	}
+}
+
+func TestReplyCacheResendsOnDuplicate(t *testing.T) {
+	cl := boot(t)
+	req := &msg.Create{ReqHeader: hdrFor(cl, 7001), Path: "/dup-test"}
+	r1 := raw(t, cl, req)
+	if r1 == nil || r1.Err != msg.OK {
+		t.Fatalf("create: %+v", r1)
+	}
+	// Identical retry: must be answered from the reply cache, NOT
+	// executed again (which would yield ErrExist).
+	r2 := raw(t, cl, req)
+	if r2 == nil || r2.Err != msg.OK {
+		t.Fatalf("duplicate create reply = %+v, want cached OK", r2)
+	}
+	if cl.Reg.CounterValue("server.replycache.duplicates") == 0 {
+		t.Fatal("duplicate not counted")
+	}
+	// A fresh create of the same path does fail.
+	r3 := raw(t, cl, &msg.Create{ReqHeader: hdrFor(cl, 7002), Path: "/dup-test"})
+	if r3 == nil || r3.Err != msg.ErrExist {
+		t.Fatalf("fresh duplicate create = %+v, want ErrExist", r3)
+	}
+}
+
+func TestUnlinkLockedFileRefused(t *testing.T) {
+	cl := boot(t)
+	h, _ := cl.MustOpen(1, "/locked", true, true)
+	if errno := cl.Write(1, h, 0, make([]byte, 64)); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	r := raw(t, cl, &msg.Unlink{ReqHeader: hdrFor(cl, 8001), Path: "/locked"})
+	if r == nil || r.Err != msg.ErrConflict {
+		t.Fatalf("unlink of locked file = %+v, want ErrConflict", r)
+	}
+}
+
+func TestSetAttrAndReaddir(t *testing.T) {
+	cl := boot(t)
+	_, attr := cl.MustOpen(0, "/sized", true, true)
+	r := raw(t, cl, &msg.SetAttr{ReqHeader: hdrFor(cl, 9001), Ino: attr.Ino, NewSize: 12345})
+	if r == nil || r.Err != msg.OK || r.Body.(msg.AttrRes).Attr.Size != 12345 {
+		t.Fatalf("setattr = %+v", r)
+	}
+	r = raw(t, cl, &msg.Readdir{ReqHeader: hdrFor(cl, 9002), Ino: 1})
+	if r == nil || r.Err != msg.OK {
+		t.Fatalf("readdir = %+v", r)
+	}
+	found := false
+	for _, e := range r.Body.(msg.ReaddirRes).Entries {
+		if e.Name == "sized" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("readdir missing created file")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	opts := cluster.DefaultOptions()
+	opts.Disks = 1
+	opts.DiskBlocks = 4
+	cl := cluster.New(opts)
+	cl.Start()
+	_, attr := cl.MustOpen(0, "/big", true, true)
+	r := raw(t, cl, &msg.AllocBlocks{ReqHeader: hdrFor(cl, 9101), Ino: attr.Ino, Count: 100})
+	if r == nil || r.Err != msg.ErrNoSpace {
+		t.Fatalf("over-alloc = %+v, want ErrNoSpace", r)
+	}
+	// Exactly-fitting allocation still works afterwards (rollback).
+	r = raw(t, cl, &msg.AllocBlocks{ReqHeader: hdrFor(cl, 9102), Ino: attr.Ino, Count: 4})
+	if r == nil || r.Err != msg.OK || len(r.Body.(msg.AllocRes).Blocks) != 4 {
+		t.Fatalf("fitting alloc = %+v", r)
+	}
+}
+
+func TestLockReleaseByNonHolder(t *testing.T) {
+	cl := boot(t)
+	_, attr := cl.MustOpen(0, "/rel", true, true)
+	r := raw(t, cl, &msg.LockRelease{ReqHeader: hdrFor(cl, 9201), Ino: attr.Ino, To: msg.LockNone})
+	if r == nil || r.Err != msg.ErrNotHolder {
+		t.Fatalf("release by non-holder = %+v, want ErrNotHolder", r)
+	}
+}
+
+func TestServerCountsTransactions(t *testing.T) {
+	cl := boot(t)
+	before := cl.Reg.CounterValue("server.transactions")
+	cl.MustOpen(0, "/txn", true, true)
+	if cl.Reg.CounterValue("server.transactions") <= before {
+		t.Fatal("transactions not counted")
+	}
+}
+
+func TestFuncReadHoleReturnsZeros(t *testing.T) {
+	opts := cluster.DefaultOptions()
+	opts.Policy = policyFunctionShip()
+	cl := cluster.New(opts)
+	cl.Start()
+	h, _ := cl.MustOpen(0, "/hole", true, true)
+	data, errno := cl.Read(0, h, 7) // never written
+	if errno != msg.OK {
+		t.Fatalf("hole read: %v", errno)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("hole not zero-filled")
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are ordered by (time, sequence
+// number) so that simulations are fully deterministic: two events at the
+// same instant fire in the order they were scheduled.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when popped or cancelled
+	cancelled bool
+}
+
+// Time returns the global instant the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Stop cancels the event. It reports whether the call prevented the event
+// from firing.
+func (e *Event) Stop() bool {
+	if e == nil || e.cancelled || e.index == -1 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. All simulated
+// activity — message delivery, timers, workload arrivals — is an Event on
+// its queue. It is not safe for concurrent use; the entire simulation runs
+// on the caller's goroutine.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler at time zero with randomness derived
+// from seed. The same seed always produces the same simulation.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current global simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at global time t. Scheduling in the past panics: it is
+// always a logic error in a discrete-event model.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after global duration d. Negative d is clamped to 0.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next event. It reports false when the queue is empty
+// or the scheduler is stopped.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: event queue went backwards")
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Scheduler) RunUntil(t Time) {
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by global duration d.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// RunWhile executes events while cond() holds and events remain.
+func (s *Scheduler) RunWhile(cond func() bool) {
+	for cond() && s.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+func (s *Scheduler) peek() (Time, bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
+}

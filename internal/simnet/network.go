@@ -1,0 +1,179 @@
+// Package simnet simulates the two datagram networks of a Storage Tank
+// installation: the general-purpose control network (clients ↔ servers)
+// and the storage-area network (clients/servers ↔ disks). A Network
+// delivers messages through the discrete-event scheduler with configurable
+// latency and loss, and supports the failure vocabulary of the paper:
+// directed (asymmetric) link blocks, symmetric partitions, node isolation,
+// and node crashes.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Handler receives delivered messages. Handlers run on the scheduler
+// goroutine; they may send messages and schedule events but must not block.
+type Handler func(env msg.Envelope)
+
+// Config sets a network's delivery characteristics.
+type Config struct {
+	// Name labels the network in traces ("control", "san").
+	Name string
+	// DelayMin/DelayMax bound the uniformly distributed one-way latency.
+	DelayMin, DelayMax time.Duration
+	// LossProb is the probability an individual datagram is silently
+	// dropped (in addition to partition/crash drops).
+	LossProb float64
+}
+
+// DefaultControlConfig models a commodity IP control network.
+func DefaultControlConfig() Config {
+	return Config{Name: "control", DelayMin: 200 * time.Microsecond, DelayMax: 800 * time.Microsecond}
+}
+
+// DefaultSANConfig models a low-latency storage fabric.
+func DefaultSANConfig() Config {
+	return Config{Name: "san", DelayMin: 50 * time.Microsecond, DelayMax: 150 * time.Microsecond}
+}
+
+// Event records one message outcome for observers.
+type Event struct {
+	At        sim.Time
+	Env       msg.Envelope
+	Delivered bool
+	Reason    DropReason
+}
+
+// DropReason explains why a message was not delivered.
+type DropReason uint8
+
+const (
+	Delivered DropReason = iota
+	DropLoss
+	DropBlocked
+	DropCrashed
+	DropNoSuchNode
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case Delivered:
+		return "delivered"
+	case DropLoss:
+		return "loss"
+	case DropBlocked:
+		return "blocked"
+	case DropCrashed:
+		return "crashed"
+	case DropNoSuchNode:
+		return "no-such-node"
+	}
+	return fmt.Sprintf("DropReason(%d)", uint8(r))
+}
+
+type edge struct{ from, to msg.NodeID }
+
+// Network is one simulated datagram fabric.
+type Network struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	nodes   map[msg.NodeID]Handler
+	blocked map[edge]bool
+	crashed map[msg.NodeID]bool
+	// Observer, if set, sees every send attempt and its outcome. The
+	// cluster uses it for message/byte accounting.
+	Observer func(Event)
+
+	sent, delivered, dropped uint64
+}
+
+// New creates a network on the given scheduler.
+func New(s *sim.Scheduler, cfg Config) *Network {
+	if cfg.DelayMax < cfg.DelayMin {
+		panic("simnet: DelayMax < DelayMin")
+	}
+	return &Network{
+		cfg:     cfg,
+		sched:   s,
+		nodes:   make(map[msg.NodeID]Handler),
+		blocked: make(map[edge]bool),
+		crashed: make(map[msg.NodeID]bool),
+	}
+}
+
+// Name returns the configured network name.
+func (n *Network) Name() string { return n.cfg.Name }
+
+// Attach registers a node's receive handler. Re-attaching replaces the
+// handler (used when a crashed node restarts with fresh state).
+func (n *Network) Attach(id msg.NodeID, h Handler) {
+	if id == msg.None {
+		panic("simnet: attaching NodeID 0")
+	}
+	n.nodes[id] = h
+}
+
+// Detach removes a node entirely.
+func (n *Network) Detach(id msg.NodeID) { delete(n.nodes, id) }
+
+// Send transmits a datagram. Delivery (or silent drop) is decided per the
+// current partition/crash/loss state at send time, matching a real
+// datagram fabric where in-flight packets of a just-partitioned link are
+// lost. Send never blocks and gives no feedback to the sender.
+func (n *Network) Send(from, to msg.NodeID, payload msg.Message) {
+	n.sent++
+	env := msg.Envelope{From: from, To: to, Payload: payload}
+	drop := func(r DropReason) {
+		n.dropped++
+		if n.Observer != nil {
+			n.Observer(Event{At: n.sched.Now(), Env: env, Reason: r})
+		}
+	}
+	switch {
+	case n.crashed[from] || n.crashed[to]:
+		drop(DropCrashed)
+		return
+	case n.blocked[edge{from, to}]:
+		drop(DropBlocked)
+		return
+	case n.nodes[to] == nil:
+		drop(DropNoSuchNode)
+		return
+	case n.cfg.LossProb > 0 && n.sched.Rand().Float64() < n.cfg.LossProb:
+		drop(DropLoss)
+		return
+	}
+	n.sched.After(n.delay(), func() {
+		// Re-check crash at delivery time: a node that died while the
+		// datagram was in flight does not receive it.
+		if n.crashed[to] || n.nodes[to] == nil {
+			n.dropped++
+			if n.Observer != nil {
+				n.Observer(Event{At: n.sched.Now(), Env: env, Reason: DropCrashed})
+			}
+			return
+		}
+		n.delivered++
+		if n.Observer != nil {
+			n.Observer(Event{At: n.sched.Now(), Env: env, Delivered: true})
+		}
+		n.nodes[to](env)
+	})
+}
+
+func (n *Network) delay() time.Duration {
+	span := n.cfg.DelayMax - n.cfg.DelayMin
+	if span <= 0 {
+		return n.cfg.DelayMin
+	}
+	return n.cfg.DelayMin + time.Duration(n.sched.Rand().Int63n(int64(span)))
+}
+
+// Counts returns (sent, delivered, dropped) totals.
+func (n *Network) Counts() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}

@@ -1,0 +1,93 @@
+package simnet
+
+import "repro/internal/msg"
+
+// Failure controls. All take effect immediately for subsequently sent
+// datagrams; messages already in flight still arrive (except to crashed
+// nodes). This matches the paper's connection-less network model, where a
+// partition simply makes datagrams stop arriving.
+
+// BlockDir blocks the directed link from → to, producing an asymmetric
+// partition: `from` can still hear `to` if the reverse direction is open.
+// §2 shows that even symmetric partitions of one network are asymmetric
+// when views are taken across both networks; this primitive also lets
+// tests create asymmetry within a single network.
+func (n *Network) BlockDir(from, to msg.NodeID) { n.blocked[edge{from, to}] = true }
+
+// UnblockDir re-opens the directed link.
+func (n *Network) UnblockDir(from, to msg.NodeID) { delete(n.blocked, edge{from, to}) }
+
+// Block severs both directions between a and b.
+func (n *Network) Block(a, b msg.NodeID) {
+	n.BlockDir(a, b)
+	n.BlockDir(b, a)
+}
+
+// Unblock restores both directions between a and b.
+func (n *Network) Unblock(a, b msg.NodeID) {
+	n.UnblockDir(a, b)
+	n.UnblockDir(b, a)
+}
+
+// Partition splits the attached nodes into the given side and everyone
+// else: all links crossing the boundary are blocked in both directions.
+func (n *Network) Partition(side ...msg.NodeID) {
+	in := make(map[msg.NodeID]bool, len(side))
+	for _, id := range side {
+		in[id] = true
+	}
+	for a := range n.nodes {
+		for b := range n.nodes {
+			if a != b && in[a] != in[b] {
+				n.BlockDir(a, b)
+			}
+		}
+	}
+}
+
+// Isolate blocks every link touching id, in both directions. The isolated
+// node keeps running — the paper's "isolated, not failed" computer.
+func (n *Network) Isolate(id msg.NodeID) {
+	for other := range n.nodes {
+		if other != id {
+			n.Block(id, other)
+		}
+	}
+}
+
+// Heal removes every block.
+func (n *Network) Heal() { n.blocked = make(map[edge]bool) }
+
+// Blocked reports whether the directed link from → to is blocked.
+func (n *Network) Blocked(from, to msg.NodeID) bool { return n.blocked[edge{from, to}] }
+
+// Crash marks a node failed: it loses all traffic in both directions,
+// including datagrams already in flight toward it. Unlike isolation, a
+// crashed node's volatile state is gone; the owner is expected to Attach a
+// fresh handler on restart.
+func (n *Network) Crash(id msg.NodeID) { n.crashed[id] = true }
+
+// Restart clears the crash flag. The caller re-attaches state as needed.
+func (n *Network) Restart(id msg.NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether the node is currently crashed.
+func (n *Network) Crashed(id msg.NodeID) bool { return n.crashed[id] }
+
+// Reachable reports whether a datagram from → to would currently be
+// forwarded (ignoring random loss).
+func (n *Network) Reachable(from, to msg.NodeID) bool {
+	return !n.crashed[from] && !n.crashed[to] && !n.blocked[edge{from, to}] && n.nodes[to] != nil
+}
+
+// View returns the set of nodes `of` can currently send to, the paper's
+// V(A). With two networks, compare Views across fabrics to exhibit the
+// asymmetric joint partitions of §2.
+func (n *Network) View(of msg.NodeID) []msg.NodeID {
+	var v []msg.NodeID
+	for other := range n.nodes {
+		if other != of && n.Reachable(of, other) {
+			v = append(v, other)
+		}
+	}
+	return v
+}

@@ -1,0 +1,273 @@
+// Package stats provides the measurement instruments for the reproduction:
+// counters, gauges, duration histograms, and a registry with stable
+// snapshot/diff semantics. The experiment harness reads protocol costs
+// (messages, bytes, server lease state, server lease operations) from
+// these instruments; the protocol code only increments them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter is a monotonically increasing count. Not safe for concurrent
+// use: the simulation is single-threaded, and the live transport funnels
+// all node activity through one executor goroutine per node.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d (d must be ≥ 0 in spirit; negative deltas panic).
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is an instantaneous level (e.g. bytes of lease state held).
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set replaces the level and tracks the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the level by d.
+func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Histogram records durations in logarithmic buckets (~2 buckets per
+// decade from 1µs to ~18h) and exact sum/count/min/max, good enough for
+// the latency distributions the experiments report.
+type Histogram struct {
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [64]uint64 // bucket i: [2^i, 2^(i+1)) nanoseconds
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketOf(d)]++
+}
+
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 63 - leadingZeros64(uint64(d))
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the extreme observations (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
+// bucket boundaries — within 2x of the true value, which suffices for the
+// shape comparisons the experiments make.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+		}
+	}
+	return h.max
+}
+
+// Registry is a flat namespace of named instruments. Names are
+// dot-separated ("server.msgs.keepalive"). Instruments are created on
+// first use so protocol code never has to pre-declare them.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value, or 0 if it was never
+// touched (reading must not create noise entries).
+func (r *Registry) CounterValue(name string) uint64 {
+	if c, ok := r.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// SumPrefix sums every counter whose name begins with prefix.
+func (r *Registry) SumPrefix(prefix string) uint64 {
+	var total uint64
+	for name, c := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// Snapshot is a point-in-time copy of all counter values.
+type Snapshot map[string]uint64
+
+// Snapshot copies current counter values.
+func (r *Registry) Snapshot() Snapshot {
+	s := make(Snapshot, len(r.counters))
+	for name, c := range r.counters {
+		s[name] = c.Value()
+	}
+	return s
+}
+
+// DiffFrom returns the per-counter increase since the earlier snapshot.
+func (r *Registry) DiffFrom(earlier Snapshot) Snapshot {
+	d := make(Snapshot)
+	for name, c := range r.counters {
+		if delta := c.Value() - earlier[name]; delta != 0 {
+			d[name] = delta
+		}
+	}
+	return d
+}
+
+// Names returns all counter names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders every counter, gauge and histogram as aligned text lines.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	for _, n := range r.Names() {
+		fmt.Fprintf(&b, "%-40s %d\n", n, r.counters[n].Value())
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		g := r.gauges[n]
+		fmt.Fprintf(&b, "%-40s %d (max %d)\n", n, g.Value(), g.Max())
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := r.hists[n]
+		fmt.Fprintf(&b, "%-40s n=%d mean=%v p99<=%v max=%v\n",
+			n, h.Count(), h.Mean(), h.Quantile(0.99), h.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders experiment results as aligned ASCII, in the row/column
+// style of the paper's would-be tables. Cells are strings; use the Fmt*
+// helpers for consistent numeric formatting across experiments.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row[:len(t.Headers)])
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FmtF formats a float with 2 decimals, trimming trailing zeros.
+func FmtF(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// FmtRate formats a per-second rate.
+func FmtRate(v float64) string { return FmtF(v) + "/s" }
+
+// FmtBytes formats a byte count with a unit suffix.
+func FmtBytes(v uint64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", v)
+}
+
+// FmtN formats an integer count.
+func FmtN[T ~uint64 | ~int64 | ~int | ~uint32 | ~int32](v T) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,87 @@
+// Package wire is the live deployment's message encoding: gob streams of
+// msg.Envelope over TCP connections. One Codec wraps one connection; gob
+// transmits type information once per stream, so long-lived node-to-node
+// connections are cheap.
+//
+// The transport above this (internal/rpcnet) preserves the protocol's
+// datagram assumptions: sends are best-effort, a broken connection just
+// drops traffic until redialed, and the reliable-request layer in
+// internal/core supplies retries and at-most-once execution — exactly as
+// it does on the simulated fabric.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+func init() { msg.RegisterGob() }
+
+// Codec frames envelopes over one connection.
+type Codec struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+// NewCodec wraps an established connection.
+func NewCodec(conn net.Conn) *Codec {
+	return &Codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Send encodes one envelope. Safe for concurrent use.
+func (c *Codec) Send(env *msg.Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Recv decodes the next envelope. Not safe for concurrent use (one reader
+// goroutine per connection).
+func (c *Codec) Recv() (*msg.Envelope, error) {
+	var env msg.Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// Close closes the underlying connection.
+func (c *Codec) Close() error { return c.conn.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Codec) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// Hello is the first frame on every dialed connection: it announces the
+// dialer's node ID so the acceptor can route return traffic over the same
+// connection.
+type Hello struct {
+	From msg.NodeID
+}
+
+// SendHello writes the identification frame.
+func (c *Codec) SendHello(from msg.NodeID) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(&Hello{From: from})
+}
+
+// RecvHello reads the identification frame.
+func (c *Codec) RecvHello() (msg.NodeID, error) {
+	var h Hello
+	if err := c.dec.Decode(&h); err != nil {
+		return 0, fmt.Errorf("wire: hello: %w", err)
+	}
+	if h.From == msg.None {
+		return 0, fmt.Errorf("wire: hello with zero node id")
+	}
+	return h.From, nil
+}

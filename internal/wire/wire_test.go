@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func pipe(t *testing.T) (a, b net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	dialer, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { dialer.Close(); r.c.Close() })
+	return dialer, r.c
+}
+
+func TestHelloHandshake(t *testing.T) {
+	a, b := pipe(t)
+	ca, cb := NewCodec(a), NewCodec(b)
+	go ca.SendHello(42)
+	from, err := cb.RecvHello()
+	if err != nil || from != 42 {
+		t.Fatalf("hello = %v %v", from, err)
+	}
+}
+
+func TestHelloRejectsZeroNode(t *testing.T) {
+	a, b := pipe(t)
+	ca, cb := NewCodec(a), NewCodec(b)
+	go ca.SendHello(msg.None)
+	if _, err := cb.RecvHello(); err == nil {
+		t.Fatal("zero node id accepted")
+	}
+}
+
+func TestEnvelopeStream(t *testing.T) {
+	a, b := pipe(t)
+	ca, cb := NewCodec(a), NewCodec(b)
+	go func() {
+		for i := 0; i < 10; i++ {
+			ca.Send(&msg.Envelope{From: 1, To: 2, Payload: &msg.GetAttr{
+				ReqHeader: msg.ReqHeader{Client: 1, Req: msg.ReqID(i)},
+				Ino:       msg.ObjectID(i),
+			}})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		env, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga := env.Payload.(*msg.GetAttr)
+		if ga.Req != msg.ReqID(i) || ga.Ino != msg.ObjectID(i) {
+			t.Fatalf("frame %d out of order: %+v", i, ga)
+		}
+	}
+}
+
+func TestRecvAfterCloseErrors(t *testing.T) {
+	a, b := pipe(t)
+	ca, cb := NewCodec(a), NewCodec(b)
+	ca.Close()
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("recv on closed peer succeeded")
+	}
+	if cb.RemoteAddr() == nil {
+		t.Fatal("remote addr missing")
+	}
+}

@@ -1,0 +1,129 @@
+// Package storagetank is a from-scratch reproduction of "Safe Caching in
+// a Distributed File System for Network Attached Storage" (Burns, Rees,
+// Long — IPPS 2000): the IBM Storage Tank lease-based safety protocol,
+// together with every substrate it needs — a SAN-attached block-storage
+// fabric, a metadata/lock server, a write-back caching client, a
+// deterministic two-network simulator, a live TCP transport, and the
+// comparison baselines (V-style per-object leases, Frangipani-style
+// heartbeats, fencing-only recovery, naive lock stealing, NFS polling,
+// GFS dlocks).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - Cluster / Options: a complete simulated installation (Fig 1) for
+//     deterministic experiments and tests.
+//   - Config: the protocol parameters (τ, ε, phase boundaries).
+//   - Policy and the named baselines for comparative runs.
+//   - Experiments: the runners that regenerate every figure and table of
+//     the paper's argument (DESIGN.md §4, EXPERIMENTS.md).
+//
+// For a live deployment, see cmd/tankd and cmd/tankcli, built on
+// internal/rpcnet; the protocol code is identical in both worlds.
+package storagetank
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/multiserver"
+	"repro/internal/workload"
+)
+
+// Config is the lease protocol configuration (τ, ε, phases, retries).
+type Config = core.Config
+
+// DefaultConfig returns the protocol parameters used throughout the
+// reproduction (τ=30s, ε=5%, phases at 0.50/0.70/0.85τ).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Phase is the client's position in its lease period (Fig 4).
+type Phase = core.Phase
+
+// The four phases plus the boundary states.
+const (
+	PhaseNone    = core.PhaseNone
+	Phase1Valid  = core.Phase1Valid
+	Phase2Renew  = core.Phase2Renewal
+	Phase3Quiet  = core.Phase3Suspect
+	Phase4Flush  = core.Phase4Flush
+	PhaseExpired = core.PhaseExpired
+)
+
+// Policy selects the lease/recovery/data-path behaviour of a cluster.
+type Policy = baselines.Policy
+
+// The named policies the paper compares against.
+var (
+	StorageTank  = baselines.StorageTank
+	Frangipani   = baselines.Frangipani
+	VSystem      = baselines.VSystem
+	HonorLocks   = baselines.HonorLocks
+	NaiveSteal   = baselines.NaiveSteal
+	FenceOnly    = baselines.FenceOnly
+	FunctionShip = baselines.FunctionShip
+	NFSPoll      = baselines.NFSPoll
+	GFSDlock     = baselines.GFSDlock
+	AllPolicies  = baselines.All
+)
+
+// Cluster is a complete simulated installation: scheduler, rate-skewed
+// clocks, control network, SAN, disks, server, clients, and the
+// consistency oracle.
+type Cluster = cluster.Cluster
+
+// Options configures a Cluster.
+type Options = cluster.Options
+
+// DefaultOptions returns a 3-client, 2-disk installation.
+func DefaultOptions() Options { return cluster.DefaultOptions() }
+
+// NewCluster builds an installation; nothing runs until its scheduler
+// does (cl.Start registers the clients).
+func NewCluster(opts Options) *Cluster { return cluster.New(opts) }
+
+// BlockSize is the data block size used throughout (4 KiB).
+const BlockSize = cluster.BlockSize
+
+// WorkloadConfig shapes synthetic client activity.
+type WorkloadConfig = workload.Config
+
+// DefaultWorkload returns a moderately skewed, read-mostly workload.
+func DefaultWorkload() WorkloadConfig { return workload.DefaultConfig() }
+
+// NewWorkloadRunner drives one cluster client with generated load.
+func NewWorkloadRunner(cl *Cluster, clientIdx int, cfg WorkloadConfig, seed int64) *workload.Runner {
+	return workload.NewRunner(cl, clientIdx, cfg, seed)
+}
+
+// PopulateWorkload creates the shared file population for runners.
+func PopulateWorkload(cl *Cluster, cfg WorkloadConfig) { workload.Populate(cl, cfg) }
+
+// MultiServer is an installation with a cluster of metadata servers
+// (Fig 1), the namespace sharded by path prefix, and one lease per
+// (client, server) pair (§4).
+type MultiServer = multiserver.Installation
+
+// MultiServerOptions configures a MultiServer installation.
+type MultiServerOptions = multiserver.Options
+
+// NewMultiServer builds a server-cluster installation.
+func NewMultiServer(opts MultiServerOptions) *MultiServer { return multiserver.New(opts) }
+
+// DefaultMultiServerOptions returns a 2-server, 2-client installation.
+func DefaultMultiServerOptions() MultiServerOptions { return multiserver.DefaultOptions() }
+
+// Experiment is one reproducible figure/table runner.
+type Experiment = experiments.Experiment
+
+// ExperimentParams scales an experiment run.
+type ExperimentParams = experiments.Params
+
+// ExperimentResult is an experiment's rendered table and named metrics.
+type ExperimentResult = experiments.Result
+
+// Experiments lists every figure/table runner in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one runner ("F1".."F5", "T1".."T8", "A1".."A2").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
