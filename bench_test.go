@@ -129,7 +129,7 @@ func BenchmarkA2RetryPolicy(b *testing.B) {
 // cost during normal operation: one lookup in an empty map.
 func BenchmarkAuthorityAllow(b *testing.B) {
 	s := sim.NewScheduler(1)
-	auth := core.NewAuthority(core.DefaultConfig(), s.NewClock(1, 0), nopSteal{}, nil, "")
+	auth := core.NewAuthority(core.DefaultConfig(), s.NewClock(1, 0), nopSteal{}, core.Env{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !auth.Allow(msg.NodeID(i%1024 + 2)) {
@@ -147,7 +147,7 @@ func (nopSteal) StealLocks(msg.NodeID) {}
 func BenchmarkLeaseRenewal(b *testing.B) {
 	s := sim.NewScheduler(1)
 	clock := s.NewClock(1, 0)
-	lease := core.NewLeaseClient(core.DefaultConfig(), clock, nopActions{}, nil, "")
+	lease := core.NewLeaseClient(core.DefaultConfig(), clock, nopActions{}, core.Env{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lease.Renewed(sim.Time(i + 1)) // strictly increasing tC1

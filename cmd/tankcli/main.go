@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		id         = flag.Int("id", 10, "this client's node id")
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ (must match tankd)")
 		eps        = flag.Float64("eps", 0.05, "rate bound ε (must match tankd)")
+		tracing    = flag.Bool("trace", false, "log lease-lifecycle events to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -46,8 +48,13 @@ func main() {
 	cfg.Tau = *tau
 	cfg.Bound.Eps = *eps
 
-	node, err := rpcnet.StartClientNode(msg.NodeID(*id), 1,
-		client.Config{Core: cfg}, *serverAddr, diskAddrs)
+	topo := rpcnet.Topology{Server: 1, ServerAddr: *serverAddr, Disks: diskAddrs}
+	var opts []rpcnet.Option
+	if *tracing {
+		opts = append(opts, rpcnet.WithTracer(trace.New(trace.NewLogf(log.Printf))))
+	}
+	node, err := rpcnet.StartClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
+		client.Config{Core: cfg}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

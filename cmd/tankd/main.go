@@ -4,9 +4,12 @@
 // control port for metadata and locks and directly to the disk ports for
 // data — the paper's two-network architecture on loopback or a LAN.
 //
-//	tankd -ctrl :7001 -san-base 7101 -disks 2 -tau 30s
+//	tankd -ctrl :7001 -san-base 7101 -disks 2 -tau 30s -trace events.jsonl
 //
-// On SIGINT/SIGTERM it prints the server's statistics, including the
+// With -trace FILE every lease-lifecycle and transport event is appended
+// to FILE as JSON lines. SIGUSR1 dumps the current statistics and the
+// most recent trace events to stdout without stopping the server. On
+// SIGINT/SIGTERM it prints the server's statistics, including the
 // authority counters that demonstrate the protocol's passivity, and
 // exits.
 package main
@@ -26,6 +29,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +42,8 @@ func main() {
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ")
 		eps        = flag.Float64("eps", 0.05, "clock rate-synchronization bound ε")
 		policyName = flag.String("policy", "storage-tank", "recovery policy (see internal/baselines)")
+		tracePath  = flag.String("trace", "", "append lease-lifecycle events to FILE as JSON lines")
+		traceRing  = flag.Int("trace-ring", 256, "recent events kept for the SIGUSR1 dump")
 		verbose    = flag.Bool("v", false, "log transport events")
 	)
 	flag.Parse()
@@ -50,44 +56,83 @@ func main() {
 	cfg.Tau = *tau
 	cfg.Bound.Eps = *eps
 
+	// The trace bus: a ring for the signal-handler dump, plus an optional
+	// JSONL file. Both the server and the disks share it.
+	ring := trace.NewRing(*traceRing)
+	tracer := trace.New(ring)
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		traceFile = f
+		tracer.Attach(trace.NewJSONL(f))
+		fmt.Printf("tracing to %s\n", *tracePath)
+	}
+	if *verbose {
+		tracer.Attach(trace.NewLogf(log.Printf))
+	}
+
+	nodeOpts := []rpcnet.Option{rpcnet.WithTracer(tracer)}
+
 	// Disks first, so the server's address book is complete.
-	diskAddrs := make(map[msg.NodeID]string)
+	topo := rpcnet.Topology{Server: 1, ServerAddr: *ctrlAddr, Disks: make(map[msg.NodeID]string)}
 	diskCaps := make(map[msg.NodeID]uint64)
 	var diskNodes []*rpcnet.DiskNode
 	for i := 0; i < *nDisks; i++ {
 		id := msg.NodeID(1000 + i)
-		addr := fmt.Sprintf("%s:%d", *sanHost, *sanBase+i)
-		dn, err := rpcnet.StartDiskNode(id, disk.Config{Blocks: *diskBlocks}, addr)
+		topo.Disks[id] = fmt.Sprintf("%s:%d", *sanHost, *sanBase+i)
+		dn, err := rpcnet.StartDiskNode(rpcnet.NodeSpec{ID: id, Topo: topo},
+			disk.Config{Blocks: *diskBlocks}, nodeOpts...)
 		if err != nil {
 			log.Fatalf("disk %v: %v", id, err)
 		}
 		diskNodes = append(diskNodes, dn)
-		diskAddrs[id] = dn.Addr.String()
+		topo.Disks[id] = dn.Addr.String()
 		diskCaps[id] = *diskBlocks
 		fmt.Printf("disk %v listening on %v (%d blocks)\n", id, dn.Addr, *diskBlocks)
 	}
 
-	srv, err := rpcnet.StartServerNode(1, server.Config{
+	srv, err := rpcnet.StartServerNode(rpcnet.NodeSpec{ID: topo.Server, Topo: topo}, server.Config{
 		Core: cfg, Policy: pol, Disks: diskCaps,
-	}, *ctrlAddr, diskAddrs)
+	}, nodeOpts...)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
-	if *verbose {
-		srv.Ctrl.SetLogf(log.Printf)
-	}
 	fmt.Printf("server n1 listening on %v (policy=%s τ=%v ε=%g)\n", srv.Addr, pol.Name, *tau, *eps)
-	fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(diskAddrs))
+	fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks))
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			dumpState(srv, ring)
+			continue
+		}
+		break
+	}
 
 	fmt.Println("\n--- server statistics ---")
 	fmt.Print(srv.Reg.Dump())
 	srv.Close()
 	for _, d := range diskNodes {
 		d.Close()
+	}
+	if traceFile != nil {
+		traceFile.Close()
+	}
+}
+
+// dumpState prints the live metrics and the tail of the event stream —
+// the SIGUSR1 "what is the lease protocol doing right now" report.
+func dumpState(srv *rpcnet.ServerNode, ring *trace.Ring) {
+	fmt.Println("--- statistics ---")
+	fmt.Print(srv.Reg.Dump())
+	evs := ring.Events()
+	fmt.Printf("--- last %d trace events (%d total) ---\n", len(evs), ring.Total())
+	for _, e := range evs {
+		fmt.Println(e.String())
 	}
 }
 

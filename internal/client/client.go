@@ -23,6 +23,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Sender transmits a message on one of the two networks.
@@ -163,6 +164,7 @@ type Client struct {
 	OnRecovered func(epoch msg.Epoch)
 
 	reg       *stats.Registry
+	tracer    *trace.Tracer
 	opsOK     *stats.Counter
 	opsFailed *stats.Counter
 	reads     *stats.Counter
@@ -174,9 +176,10 @@ type Client struct {
 	nfsPolls  *stats.Counter
 }
 
-// New creates a client talking to server. reg and oracle may be nil.
+// New creates a client talking to server. reg, oracle, and tr may be
+// nil; tr receives the client's lease-lifecycle events.
 func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
-	oracle checker.Oracle, reg *stats.Registry) *Client {
+	oracle checker.Oracle, reg *stats.Registry, tr *trace.Tracer) *Client {
 	cfg = cfg.withDefaults()
 	if err := cfg.Core.Validate(); err != nil {
 		panic(err)
@@ -223,11 +226,40 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		fencedIO:        reg.Counter(prefix + "fenced_io"),
 		nfsPolls:        reg.Counter(prefix + "nfs_polls"),
 	}
-	if cfg.Policy.Lease == baselines.LeaseStorageTank {
-		c.lease = core.NewLeaseClient(cfg.Core, clock, leaseActions{c}, reg, prefix)
+	c.tracer = tr
+	env := core.Env{
+		Reg:    reg,
+		Prefix: prefix,
+		Tracer: tr,
+		Node:   id,
+		// The channel is created below; by the time any event fires it
+		// exists, so the closure can read the live epoch.
+		Epoch: func() msg.Epoch {
+			if c.chn == nil {
+				return 0
+			}
+			return c.chn.Epoch()
+		},
 	}
-	c.chn = core.NewChannel(id, server, cfg.Core, clock, c.sendCtrl, c.lease, reg, prefix)
+	if cfg.Policy.Lease == baselines.LeaseStorageTank {
+		c.lease = core.NewLeaseClient(cfg.Core, clock, leaseActions{c}, env)
+	}
+	c.chn = core.NewChannel(id, server, cfg.Core, clock, c.sendCtrl, c.lease, env)
 	return c
+}
+
+// emit stamps ev with the client's identity, epoch, and clock reading and
+// hands it to the tracer, if any.
+func (c *Client) emit(ev trace.Event) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	ev.Node = c.id
+	ev.Time = c.clock.Now()
+	if ev.Epoch == 0 && c.chn != nil {
+		ev.Epoch = c.chn.Epoch()
+	}
+	c.tracer.Emit(ev)
 }
 
 func (c *Client) sendCtrl(to msg.NodeID, m msg.Message) {

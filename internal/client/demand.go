@@ -1,6 +1,9 @@
 package client
 
-import "repro/internal/msg"
+import (
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
 
 // handleDemand answers a server-initiated lock demand (§1.2): the client
 // immediately acknowledges receipt at the transport level (proving it is
@@ -15,6 +18,8 @@ import "repro/internal/msg"
 // whose completion would then resurrect the lock and cache the client
 // had just given up.
 func (c *Client) handleDemand(m *msg.Demand) {
+	c.emit(trace.Event{Type: trace.EvDemandRecv, Peer: m.Server, Ino: m.Ino,
+		To: m.Mode.String()})
 	// The transport-level ack goes out unconditionally and immediately;
 	// its absence is what the server interprets as a delivery failure.
 	c.sendCtrl(m.Server, &msg.DemandAck{Client: c.id, ID: m.ID})
@@ -84,7 +89,9 @@ func (c *Client) complyDemand(m *msg.Demand) {
 		return
 	}
 	c.downgradeBegin(m.Ino)
+	c.emit(trace.Event{Type: trace.EvFlushStart, Ino: m.Ino, Note: "demand"})
 	c.flushObject(m.Ino, func() {
+		c.emit(trace.Event{Type: trace.EvFlushDone, Ino: m.Ino, Note: "demand"})
 		if m.Mode == msg.LockNone {
 			delete(c.lockedInos, m.Ino)
 			c.oracle.LockInactive(c.id, m.Ino)

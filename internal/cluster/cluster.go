@@ -20,6 +20,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Well-known node IDs: the server is 1, clients count up from 10, disks
@@ -65,6 +66,9 @@ type Options struct {
 	// ClockSkew for those indices); ServerRate pins the server's.
 	ClientRates []float64
 	ServerRate  float64
+	// Tracer, when non-nil, receives lease-lifecycle events from every
+	// node. Simulated clocks make the event timestamps deterministic.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns a 3-client, 2-disk installation with the default
@@ -158,7 +162,7 @@ func New(opts Options) *Cluster {
 	srv := server.New(ServerID, srvCfg, serverClock,
 		func(to msg.NodeID, m msg.Message) { cl.Control.Send(ServerID, to, m) },
 		func(to msg.NodeID, m msg.Message) { cl.SAN.Send(ServerID, to, m) },
-		reg)
+		reg, opts.Tracer)
 	cl.Server = srv
 	cl.Control.Attach(ServerID, srv.Deliver)
 	cl.SAN.Attach(ServerID, srv.DeliverSAN)
@@ -182,7 +186,7 @@ func New(opts Options) *Cluster {
 		c := client.New(id, ServerID, ccfg, clientClock,
 			func(to msg.NodeID, m msg.Message) { cl.Control.Send(id, to, m) },
 			func(to msg.NodeID, m msg.Message) { cl.SAN.Send(id, to, m) },
-			oracle, reg)
+			oracle, reg, opts.Tracer)
 		cl.Clients = append(cl.Clients, c)
 		cl.Control.Attach(id, c.Deliver)
 		cl.SAN.Attach(id, c.DeliverSAN)
@@ -375,7 +379,7 @@ func (cl *Cluster) RestartServer() {
 	srv := server.New(ServerID, srvCfg, clock,
 		func(to msg.NodeID, m msg.Message) { cl.Control.Send(ServerID, to, m) },
 		func(to msg.NodeID, m msg.Message) { cl.SAN.Send(ServerID, to, m) },
-		cl.Reg)
+		cl.Reg, cl.Opts.Tracer)
 	cl.Server = srv
 	cl.Control.Attach(ServerID, srv.Deliver)
 	cl.SAN.Attach(ServerID, srv.DeliverSAN)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // AuthorityActions is how the passive lease authority drives its owner
@@ -43,6 +44,7 @@ type Authority struct {
 	cfg      Config
 	clock    sim.Clock
 	act      AuthorityActions
+	env      Env
 	suspects map[msg.NodeID]*suspectState
 
 	// Instrumentation: ops counts every lease-specific action the server
@@ -55,23 +57,23 @@ type Authority struct {
 	steals     *stats.Counter
 }
 
-// NewAuthority creates a passive authority.
-func NewAuthority(cfg Config, clock sim.Clock, act AuthorityActions, reg *stats.Registry, prefix string) *Authority {
+// NewAuthority creates a passive authority. env supplies the registry,
+// tracer, and the identity stamped on emitted events.
+func NewAuthority(cfg Config, clock sim.Clock, act AuthorityActions, env Env) *Authority {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if reg == nil {
-		reg = stats.NewRegistry()
-	}
+	env = env.withDefaults()
 	return &Authority{
 		cfg:        cfg,
 		clock:      clock,
 		act:        act,
+		env:        env,
 		suspects:   make(map[msg.NodeID]*suspectState),
-		ops:        reg.Counter(prefix + "authority.ops"),
-		stateBytes: reg.Gauge(prefix + "authority.state_bytes"),
-		timeouts:   reg.Counter(prefix + "authority.timeouts_started"),
-		steals:     reg.Counter(prefix + "authority.locks_stolen"),
+		ops:        env.counter("authority.ops"),
+		stateBytes: env.gauge("authority.state_bytes"),
+		timeouts:   env.counter("authority.timeouts_started"),
+		steals:     env.counter("authority.locks_stolen"),
 	}
 }
 
@@ -103,11 +105,13 @@ func (a *Authority) OnDeliveryFailure(client msg.NodeID) {
 	st := &suspectState{}
 	a.suspects[client] = st
 	a.stateBytes.Set(int64(len(a.suspects)) * suspectStateBytes)
+	a.env.emit(a.clock, trace.Event{Type: trace.EvStealArmed, Peer: client})
 	st.timer = a.clock.AfterFunc(a.cfg.StealDelay(), func() {
 		a.ops.Inc()
 		a.steals.Inc()
 		st.expired = true
 		st.timer = nil
+		a.env.emit(a.clock, trace.Event{Type: trace.EvStealFired, Peer: client, Note: "timeout"})
 		a.act.StealLocks(client)
 	})
 }
@@ -129,6 +133,7 @@ func (a *Authority) OnRejoin(client msg.NodeID) bool {
 		// The client itself told us it holds nothing: steal/cleanup now.
 		a.ops.Inc()
 		a.steals.Inc()
+		a.env.emit(a.clock, trace.Event{Type: trace.EvStealFired, Peer: client, Note: "rejoin"})
 		a.act.StealLocks(client)
 	}
 	delete(a.suspects, client)

@@ -31,7 +31,7 @@ func newAuthority(t *testing.T, cfg Config, rate float64) (*sim.Scheduler, *stea
 	s := sim.NewScheduler(11)
 	rec := &stealRec{s: s}
 	reg := stats.NewRegistry()
-	a := NewAuthority(cfg, s.NewClock(rate, 0), rec, reg, "srv.")
+	a := NewAuthority(cfg, s.NewClock(rate, 0), rec, Env{Reg: reg, Prefix: "srv."})
 	return s, rec, a, reg
 }
 
@@ -175,9 +175,9 @@ func TestTheorem31Property(t *testing.T) {
 		cfg.Bound = sim.RateBound{Eps: eps}
 
 		rec := &actionsRec{s: s, autoFlush: true}
-		lease := NewLeaseClient(cfg, clientClock, rec, nil, "")
+		lease := NewLeaseClient(cfg, clientClock, rec, Env{})
 		srec := &stealRec{s: s}
-		auth := NewAuthority(cfg, serverClock, srec, nil, "")
+		auth := NewAuthority(cfg, serverClock, srec, Env{})
 
 		// tC1: client sends a message now (global time 0) and it is
 		// eventually ACKed. The server observes a delivery failure at
@@ -213,9 +213,9 @@ func TestTheorem31ViolatedOutsideBound(t *testing.T) {
 	cfg := testCfg()
 	cfg.Bound = sim.RateBound{Eps: eps}
 	rec := &actionsRec{s: s, autoFlush: true}
-	lease := NewLeaseClient(cfg, s.NewClock(rc, 0), rec, nil, "")
+	lease := NewLeaseClient(cfg, s.NewClock(rc, 0), rec, Env{})
 	srec := &stealRec{s: s}
-	auth := NewAuthority(cfg, s.NewClock(rs, 0), srec, nil, "")
+	auth := NewAuthority(cfg, s.NewClock(rs, 0), srec, Env{})
 
 	lease.Renewed(0)
 	auth.OnDeliveryFailure(3)

@@ -56,15 +56,13 @@ type Channel struct {
 }
 
 // NewChannel creates a channel from self to server. lease may be nil.
+// env supplies the registry the channel's counters live in.
 func NewChannel(self, server msg.NodeID, cfg Config, clock sim.Clock,
-	send func(to msg.NodeID, m msg.Message), lease *LeaseClient,
-	reg *stats.Registry, prefix string) *Channel {
+	send func(to msg.NodeID, m msg.Message), lease *LeaseClient, env Env) *Channel {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if reg == nil {
-		reg = stats.NewRegistry()
-	}
+	env = env.withDefaults()
 	return &Channel{
 		self:    self,
 		server:  server,
@@ -73,10 +71,10 @@ func NewChannel(self, server msg.NodeID, cfg Config, clock sim.Clock,
 		send:    send,
 		lease:   lease,
 		pending: make(map[msg.ReqID]*pendingCall),
-		sent:    reg.Counter(prefix + "chan.sent"),
-		retries: reg.Counter(prefix + "chan.retries"),
-		acks:    reg.Counter(prefix + "chan.acks"),
-		nacksC:  reg.Counter(prefix + "chan.nacks"),
+		sent:    env.counter("chan.sent"),
+		retries: env.counter("chan.retries"),
+		acks:    env.counter("chan.acks"),
+		nacksC:  env.counter("chan.nacks"),
 	}
 }
 

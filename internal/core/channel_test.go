@@ -22,7 +22,7 @@ func newChan(t *testing.T) (*sim.Scheduler, *wire, *Channel, *stats.Registry) {
 	s := sim.NewScheduler(5)
 	w := &wire{}
 	reg := stats.NewRegistry()
-	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, nil, reg, "c3.")
+	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, nil, Env{Reg: reg, Prefix: "c3."})
 	return s, w, c, reg
 }
 
@@ -81,8 +81,8 @@ func TestACKRenewsLeaseFromFirstSend(t *testing.T) {
 	w := &wire{}
 	reg := stats.NewRegistry()
 	rec := &actionsRec{s: s, autoFlush: true}
-	lease := NewLeaseClient(testCfg(), s.NewClock(1, 0), rec, reg, "c3.")
-	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, lease, reg, "c3.")
+	lease := NewLeaseClient(testCfg(), s.NewClock(1, 0), rec, Env{Reg: reg, Prefix: "c3."})
+	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, lease, Env{Reg: reg, Prefix: "c3."})
 
 	// Send at t=1s; reply arrives at t=3s after retries. The lease must
 	// start from 1s (first send), not from any retry time.
@@ -106,8 +106,8 @@ func TestNACKNotifiesLease(t *testing.T) {
 	w := &wire{}
 	reg := stats.NewRegistry()
 	rec := &actionsRec{s: s, autoFlush: true}
-	lease := NewLeaseClient(testCfg(), s.NewClock(1, 0), rec, reg, "c3.")
-	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, lease, reg, "c3.")
+	lease := NewLeaseClient(testCfg(), s.NewClock(1, 0), rec, Env{Reg: reg, Prefix: "c3."})
+	c := NewChannel(3, 1, testCfg(), s.NewClock(1, 0), w.send, lease, Env{Reg: reg, Prefix: "c3."})
 	lease.Renewed(0)
 	var got *msg.Reply
 	id := c.Call(&msg.Lookup{Path: "/x"}, func(r *msg.Reply) { got = r })
@@ -195,7 +195,7 @@ func TestChannelAtMostOnceUnderLossProperty(t *testing.T) {
 				req := m.(msg.Request)
 				s.After(time.Millisecond, func() { serverRecv(req) })
 			}
-		}, nil, reg, "c.")
+		}, nil, Env{Reg: reg, Prefix: "c."})
 		deliverToClient = ch.HandleReply
 
 		const calls = 25

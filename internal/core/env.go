@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Env bundles the cross-cutting facilities a core component is
+// instantiated with: the metrics registry, the name prefix its
+// instruments live under, the trace bus, and the identity stamped onto
+// every event it emits. The zero Env is valid — a private registry and
+// no tracing — so tests and baselines construct components with Env{}.
+type Env struct {
+	// Reg receives the component's counters and gauges (nil = private
+	// registry, readable only through the component itself).
+	Reg *stats.Registry
+	// Prefix namespaces the instruments ("client.n10.", "server.").
+	Prefix string
+	// Tracer receives lease-lifecycle events (nil = tracing off).
+	Tracer *trace.Tracer
+	// Node is the identity stamped on emitted events.
+	Node msg.NodeID
+	// Epoch, when set, supplies the registration epoch stamped on
+	// events (the channel's current epoch, on clients).
+	Epoch func() msg.Epoch
+}
+
+// withDefaults fills the registry so components never nil-check it.
+func (e Env) withDefaults() Env {
+	if e.Reg == nil {
+		e.Reg = stats.NewRegistry()
+	}
+	return e
+}
+
+// counter creates the prefixed counter.
+func (e Env) counter(name string) *stats.Counter {
+	return e.Reg.Counter(e.Prefix + name)
+}
+
+// gauge creates the prefixed gauge.
+func (e Env) gauge(name string) *stats.Gauge {
+	return e.Reg.Gauge(e.Prefix + name)
+}
+
+// emit stamps ev with the component's identity and clock reading and
+// hands it to the tracer. Safe (and free) when no tracer is attached.
+func (e Env) emit(clock sim.Clock, ev trace.Event) {
+	if !e.Tracer.Enabled() {
+		return
+	}
+	ev.Node = e.Node
+	ev.Time = clock.Now()
+	if ev.Epoch == 0 && e.Epoch != nil {
+		ev.Epoch = e.Epoch()
+	}
+	e.Tracer.Emit(ev)
+}

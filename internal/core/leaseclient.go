@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // LeaseActions is how the lease state machine drives its owner (the
@@ -33,6 +34,7 @@ type LeaseClient struct {
 	cfg   Config
 	clock sim.Clock
 	act   LeaseActions
+	env   Env
 
 	phase Phase
 	// start is tC1 of the message that obtained the current lease, on the
@@ -56,23 +58,23 @@ type LeaseClient struct {
 }
 
 // NewLeaseClient creates the state machine in PhaseNone. It does nothing
-// until the first Renewed.
-func NewLeaseClient(cfg Config, clock sim.Clock, act LeaseActions, reg *stats.Registry, prefix string) *LeaseClient {
+// until the first Renewed. env supplies the registry, tracer, and the
+// identity stamped on emitted events.
+func NewLeaseClient(cfg Config, clock sim.Clock, act LeaseActions, env Env) *LeaseClient {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if reg == nil {
-		reg = stats.NewRegistry()
-	}
+	env = env.withDefaults()
 	return &LeaseClient{
 		cfg:        cfg,
 		clock:      clock,
 		act:        act,
-		renewals:   reg.Counter(prefix + "lease.renewals"),
-		keepalives: reg.Counter(prefix + "lease.keepalives"),
-		nacks:      reg.Counter(prefix + "lease.nacks"),
-		expiries:   reg.Counter(prefix + "lease.expiries"),
-		dirtyAtEnd: reg.Counter(prefix + "lease.dirty_at_expiry"),
+		env:        env,
+		renewals:   env.counter("lease.renewals"),
+		keepalives: env.counter("lease.keepalives"),
+		nacks:      env.counter("lease.nacks"),
+		expiries:   env.counter("lease.expiries"),
+		dirtyAtEnd: env.counter("lease.dirty_at_expiry"),
 	}
 }
 
@@ -118,6 +120,7 @@ func (l *LeaseClient) Renewed(tC1 sim.Time) {
 		return // the lease this ACK grants is already over
 	}
 	l.renewals.Inc()
+	l.env.emit(l.clock, trace.Event{Type: trace.EvRenew, TC1: tC1})
 	l.start = tC1
 	l.nacked = false
 	l.flushed = false
@@ -129,6 +132,7 @@ func (l *LeaseClient) Renewed(tC1 sim.Time) {
 // invalid and enters phase 3 directly, skipping further renewal attempts.
 func (l *LeaseClient) NACKed() {
 	l.nacks.Inc()
+	l.env.emit(l.clock, trace.Event{Type: trace.EvNACK})
 	if l.phase == PhaseExpired || l.phase == PhaseNone {
 		return // nothing to tear down; owner is (re)joining
 	}
@@ -152,6 +156,7 @@ func (l *LeaseClient) Revive(tC1 sim.Time) bool {
 		return false
 	}
 	l.renewals.Inc()
+	l.env.emit(l.clock, trace.Event{Type: trace.EvRenew, TC1: tC1, Note: "revive"})
 	if tC1.After(l.start) {
 		l.start = tC1
 	}
@@ -170,6 +175,7 @@ func (l *LeaseClient) Reset() {
 	l.nacked = false
 	l.flushed = false
 	if old != PhaseNone {
+		l.env.emit(l.clock, trace.Event{Type: trace.EvPhase, From: old.String(), To: PhaseNone.String(), Note: "reset"})
 		l.act.PhaseChange(old, PhaseNone)
 	}
 }
@@ -191,6 +197,7 @@ func (l *LeaseClient) toPhase(p Phase) {
 	l.stopTimers()
 	from := l.phase
 	l.phase = p
+	l.env.emit(l.clock, trace.Event{Type: trace.EvPhase, From: from.String(), To: p.String()})
 	l.act.PhaseChange(from, p)
 
 	switch p {
@@ -201,15 +208,23 @@ func (l *LeaseClient) toPhase(p Phase) {
 		l.startKeepAlives()
 	case Phase3Suspect:
 		l.scheduleBoundary(Phase4Flush)
+		l.env.emit(l.clock, trace.Event{Type: trace.EvQuiesce})
 		l.act.Quiesce()
 	case Phase4Flush:
 		l.scheduleBoundary(PhaseExpired)
-		l.act.Flush(func() { l.flushed = true })
+		l.env.emit(l.clock, trace.Event{Type: trace.EvFlushStart, Note: "lease"})
+		l.act.Flush(func() {
+			l.flushed = true
+			l.env.emit(l.clock, trace.Event{Type: trace.EvFlushDone, Note: "lease"})
+		})
 	case PhaseExpired:
 		l.expiries.Inc()
+		note := ""
 		if !l.flushed {
 			l.dirtyAtEnd.Inc()
+			note = "dirty"
 		}
+		l.env.emit(l.clock, trace.Event{Type: trace.EvExpire, Note: note})
 		l.act.Expired()
 	}
 }
@@ -241,6 +256,7 @@ func (l *LeaseClient) startKeepAlives() {
 			return
 		}
 		l.keepalives.Inc()
+		l.env.emit(l.clock, trace.Event{Type: trace.EvKeepAlive})
 		l.act.SendKeepAlive()
 		l.kaTimer = l.clock.AfterFunc(interval, fire)
 	}

@@ -47,7 +47,7 @@ func newLease(t *testing.T, cfg Config) (*sim.Scheduler, *actionsRec, *LeaseClie
 	s := sim.NewScheduler(3)
 	rec := &actionsRec{s: s, autoFlush: true}
 	reg := stats.NewRegistry()
-	l := NewLeaseClient(cfg, s.NewClock(1, 0), rec, reg, "c1.")
+	l := NewLeaseClient(cfg, s.NewClock(1, 0), rec, Env{Reg: reg, Prefix: "c1."})
 	return s, rec, l, reg
 }
 

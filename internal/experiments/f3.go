@@ -81,8 +81,8 @@ func theoremTrials(rng *rand.Rand, eps float64, trials int, outsideBound bool) (
 		var expiredAt, stolenAt sim.Time
 		lease := core.NewLeaseClient(cfg, clientClock, &phaseRecorder{
 			s: s, onExpire: func(at sim.Time) { expiredAt = at },
-		}, nil, "")
-		auth := core.NewAuthority(cfg, serverClock, stealFn(func(at sim.Time) { stolenAt = at }, s), nil, "")
+		}, core.Env{})
+		auth := core.NewAuthority(cfg, serverClock, stealFn(func(at sim.Time) { stolenAt = at }, s), core.Env{})
 
 		// The client's message is sent now (tC1); the server observes the
 		// delivery failure some time ≥ tC1 later (message latency + demand

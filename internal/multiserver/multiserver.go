@@ -24,6 +24,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Options configures a multi-server installation.
@@ -36,6 +37,9 @@ type Options struct {
 	DisksPerServer int
 	DiskBlocks     uint64
 	Core           core.Config
+	// Tracer, when non-nil, receives lease-lifecycle events from every
+	// server and every per-pair protocol instance.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns a 2-server, 2-client installation.
@@ -138,7 +142,7 @@ func New(opts Options) *Installation {
 		}, s.NewClock(1, 0),
 			func(to msg.NodeID, m msg.Message) { inst.Control.Send(sid, to, m) },
 			func(to msg.NodeID, m msg.Message) { inst.SAN.Send(sid, to, m) },
-			reg)
+			reg, opts.Tracer)
 		inst.Control.Attach(sid, srv.Deliver)
 		inst.SAN.Attach(sid, srv.DeliverSAN)
 		inst.Shards = append(inst.Shards, Shard{
@@ -161,7 +165,7 @@ func New(opts Options) *Installation {
 				s.NewClock(1, 0),
 				func(to msg.NodeID, m msg.Message) { inst.Control.Send(cid, to, m) },
 				func(to msg.NodeID, m msg.Message) { inst.SAN.Send(cid, to, m) },
-				inst.Checkers[si], reg)
+				inst.Checkers[si], reg, opts.Tracer)
 			node.subs[sh.ID] = sub
 		}
 		inst.Nodes = append(inst.Nodes, node)

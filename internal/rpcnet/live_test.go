@@ -11,6 +11,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/msg"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -30,30 +31,40 @@ type liveCluster struct {
 }
 
 func startLive(t *testing.T, nClients int) *liveCluster {
+	return startLiveCfg(t, nClients, liveCore())
+}
+
+// startLiveCfg boots the installation with an explicit protocol config
+// and node options (e.g. WithTracer) applied to every node.
+func startLiveCfg(t *testing.T, nClients int, cfg core.Config, opts ...Option) *liveCluster {
 	t.Helper()
 	lc := &liveCluster{}
-	diskAddrs := make(map[msg.NodeID]string)
+	topo := Topology{Server: 1, ServerAddr: Loopback(), Disks: make(map[msg.NodeID]string)}
 	diskCaps := make(map[msg.NodeID]uint64)
 	for i := 0; i < 2; i++ {
 		id := msg.NodeID(1000 + i)
-		dn, err := StartDiskNode(id, disk.Config{Blocks: 1 << 12}, Loopback())
+		// Disks listen on ephemeral ports; fill the topology as they come
+		// up so later nodes can dial them.
+		topo.Disks[id] = Loopback()
+		dn, err := StartDiskNode(NodeSpec{ID: id, Topo: topo}, disk.Config{Blocks: 1 << 12}, opts...)
 		if err != nil {
 			t.Fatalf("disk: %v", err)
 		}
 		lc.disks = append(lc.disks, dn)
-		diskAddrs[id] = dn.Addr.String()
+		topo.Disks[id] = dn.Addr.String()
 		diskCaps[id] = 1 << 12
 	}
-	srv, err := StartServerNode(1, server.Config{
-		Core: liveCore(), Disks: diskCaps,
-	}, Loopback(), diskAddrs)
+	srv, err := StartServerNode(NodeSpec{ID: topo.Server, Topo: topo}, server.Config{
+		Core: cfg, Disks: diskCaps,
+	}, opts...)
 	if err != nil {
 		t.Fatalf("server: %v", err)
 	}
 	lc.srv = srv
+	topo.ServerAddr = srv.Addr.String()
 	for i := 0; i < nClients; i++ {
-		cn, err := StartClientNode(msg.NodeID(10+i), 1,
-			client.Config{Core: liveCore()}, srv.Addr.String(), diskAddrs)
+		cn, err := StartClientNode(NodeSpec{ID: msg.NodeID(10 + i), Topo: topo},
+			client.Config{Core: cfg}, opts...)
 		if err != nil {
 			t.Fatalf("client: %v", err)
 		}
@@ -236,6 +247,56 @@ func TestLiveLeaseRenewalIsFree(t *testing.T) {
 	}
 	if got.phase != core.Phase1Valid {
 		t.Fatalf("lease phase = %v, want valid", got.phase)
+	}
+}
+
+// TestLiveTraceTheorem31 replays the Fig 2 isolation scenario over real
+// TCP with one shared trace bus across all five processes-in-one: the
+// partitioned client walks all four lease phases unattended, the server
+// arms and fires the τ(1+ε) steal, and the client's expiry precedes the
+// steal in the shared event order — Theorem 3.1, observed on the live
+// transport rather than the simulator.
+func TestLiveTraceTheorem31(t *testing.T) {
+	ring := trace.NewRing(1 << 14)
+	tracer := trace.New(ring)
+	cfg := liveCore()
+	cfg.Tau = 1500 * time.Millisecond
+	lc := startLiveCfg(t, 2, cfg, WithTracer(tracer))
+	lc.start(t, 0)
+	lc.start(t, 1)
+
+	h0 := lc.open(t, 0, "/stolen.txt", true, true)
+	lc.write(t, 0, h0, 0, []byte("dirty-at-isolation")) // stays in cache
+
+	// Partition client 0 from the control network. Its executor, clock,
+	// and SAN stay alive: the lease state machine runs unattended (its
+	// keep-alives simply drop) and the phase-4 flush can still reach the
+	// disks. The server side sees its demand go undelivered.
+	lc.clients[0].Ctrl.Close()
+
+	// The survivor demands the same file; open only completes after the
+	// server's steal reassigns the lock, so no polling is needed.
+	h1 := lc.open(t, 1, "/stolen.txt", true, false)
+	lc.write(t, 1, h1, 0, []byte("new-owner"))
+
+	isolated := msg.NodeID(10)
+	events := ring.Events()
+
+	phases := events.PhaseSequence(isolated)
+	want := []string{"valid", "renewal", "suspect", "flush", "expired"}
+	if !trace.HasSubsequence(phases, want) {
+		t.Fatalf("client phase sequence %v missing subsequence %v", phases, want)
+	}
+	if n := events.Count(trace.ByNode(1), trace.ByType(trace.EvStealFired), trace.ByPeer(isolated)); n != 1 {
+		t.Fatalf("steal fired %d times, want 1", n)
+	}
+	if err := events.Precedes(
+		trace.And(trace.ByNode(isolated), trace.ByType(trace.EvExpire)),
+		trace.And(trace.ByNode(1), trace.ByType(trace.EvStealFired))); err != nil {
+		t.Fatalf("Theorem 3.1 ordering on live transport: %v", err)
+	}
+	if exp, ok := events.First(trace.ByNode(isolated), trace.ByType(trace.EvExpire)); ok && exp.Note == "dirty" {
+		t.Fatal("client expired with the phase-4 flush incomplete")
 	}
 }
 

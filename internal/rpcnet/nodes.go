@@ -8,7 +8,9 @@ import (
 	"repro/internal/disk"
 	"repro/internal/msg"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Executor is a node's serial event loop: every protocol callback —
@@ -74,6 +76,90 @@ func (t *Transport) UseExecutor(e *Executor) {
 	t.clock.SetExec(e.Submit)
 }
 
+// Topology is the address book of a live installation: who the metadata
+// server is, where it listens, and where each SAN disk listens. One
+// Topology value describes the whole installation and is shared by every
+// NodeSpec, replacing the per-call positional address arguments.
+type Topology struct {
+	// Server is the metadata server's node ID.
+	Server msg.NodeID
+	// ServerAddr is the control-network address the server listens on and
+	// clients dial ("host:port"; port 0 picks an ephemeral port).
+	ServerAddr string
+	// Disks maps each disk's node ID to its SAN listen address.
+	Disks map[msg.NodeID]string
+}
+
+// NodeSpec identifies one node within a topology.
+type NodeSpec struct {
+	// ID is this node's ID. For a disk node, Topo.Disks[ID] is its listen
+	// address.
+	ID msg.NodeID
+	// Topo is the installation's shared address book.
+	Topo Topology
+}
+
+// nodeOptions collects the cross-cutting facilities a node is started
+// with; all have working defaults.
+type nodeOptions struct {
+	tracer *trace.Tracer
+	logf   func(format string, args ...any)
+	clock  sim.Clock
+	reg    *stats.Registry
+}
+
+// Option customizes a node started by StartServerNode, StartClientNode,
+// or StartDiskNode.
+type Option func(*nodeOptions)
+
+// WithTracer attaches a trace bus: the node's protocol components emit
+// lease-lifecycle events and its transports emit EvTransport events.
+// Sharing one Tracer across nodes in the same process yields a single
+// totally-ordered event stream (see trace.Tracer).
+func WithTracer(tr *trace.Tracer) Option {
+	return func(o *nodeOptions) { o.tracer = tr }
+}
+
+// WithLogf installs a debug logger on the node's transports.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(o *nodeOptions) { o.logf = f }
+}
+
+// WithClock overrides the clock driving the node's protocol state
+// machines (default: the control transport's wall clock, timers on the
+// node's executor). The caller is responsible for the override firing
+// its timers on the node's executor.
+func WithClock(c sim.Clock) Option {
+	return func(o *nodeOptions) { o.clock = c }
+}
+
+// WithRegistry supplies the metrics registry the node's instruments live
+// in (default: a fresh private registry).
+func WithRegistry(reg *stats.Registry) Option {
+	return func(o *nodeOptions) { o.reg = reg }
+}
+
+func buildOptions(opts []Option) nodeOptions {
+	var o nodeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.reg == nil {
+		o.reg = stats.NewRegistry()
+	}
+	return o
+}
+
+// applyTransport installs the node-level tracer/logger on a transport.
+func (o nodeOptions) applyTransport(t *Transport) {
+	if o.tracer != nil {
+		t.SetTracer(o.tracer)
+	}
+	if o.logf != nil {
+		t.SetLogf(o.logf)
+	}
+}
+
 // ServerNode is a live metadata server: a control listener, a SAN dialer
 // for fencing/function-shipping, and the server state machine on one
 // executor.
@@ -86,17 +172,23 @@ type ServerNode struct {
 	Reg  *stats.Registry
 }
 
-// StartServerNode launches a server listening for clients on ctrlAddr,
-// with the given SAN disk address book.
-func StartServerNode(id msg.NodeID, cfg server.Config, ctrlAddr string,
-	diskAddrs map[msg.NodeID]string) (*ServerNode, error) {
-	n := &ServerNode{Exec: NewExecutor(), Reg: stats.NewRegistry()}
-	n.Ctrl = New(id, nil, func(env msg.Envelope) { n.Srv.Deliver(env) })
-	n.SAN = New(id, diskAddrs, func(env msg.Envelope) { n.Srv.DeliverSAN(env) })
+// StartServerNode launches the topology's server: it listens for clients
+// on Topo.ServerAddr and dials the disks in Topo.Disks.
+func StartServerNode(spec NodeSpec, cfg server.Config, opts ...Option) (*ServerNode, error) {
+	o := buildOptions(opts)
+	n := &ServerNode{Exec: NewExecutor(), Reg: o.reg}
+	n.Ctrl = New(spec.ID, nil, func(env msg.Envelope) { n.Srv.Deliver(env) })
+	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Srv.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
 	n.SAN.UseExecutor(n.Exec)
-	n.Srv = server.New(id, cfg, n.Ctrl.Clock(), n.Ctrl.Send, n.SAN.Send, n.Reg)
-	addr, err := n.Ctrl.Listen(ctrlAddr)
+	o.applyTransport(n.Ctrl)
+	o.applyTransport(n.SAN)
+	clock := o.clock
+	if clock == nil {
+		clock = n.Ctrl.Clock()
+	}
+	n.Srv = server.New(spec.ID, cfg, clock, n.Ctrl.Send, n.SAN.Send, n.Reg, o.tracer)
+	addr, err := n.Ctrl.Listen(spec.Topo.ServerAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +212,20 @@ type DiskNode struct {
 	Addr net.Addr
 }
 
-// StartDiskNode launches a disk listening on sanAddr.
-func StartDiskNode(id msg.NodeID, cfg disk.Config, sanAddr string) (*DiskNode, error) {
+// StartDiskNode launches disk spec.ID listening on its Topo.Disks
+// address.
+func StartDiskNode(spec NodeSpec, cfg disk.Config, opts ...Option) (*DiskNode, error) {
+	o := buildOptions(opts)
 	n := &DiskNode{Exec: NewExecutor()}
-	n.SAN = New(id, nil, func(env msg.Envelope) { n.Disk.Deliver(env) })
+	n.SAN = New(spec.ID, nil, func(env msg.Envelope) { n.Disk.Deliver(env) })
 	n.SAN.UseExecutor(n.Exec)
-	n.Disk = disk.New(id, cfg, n.SAN.Clock(), n.SAN.Send, nil, disk.Observer{})
-	addr, err := n.SAN.Listen(sanAddr)
+	o.applyTransport(n.SAN)
+	clock := o.clock
+	if clock == nil {
+		clock = n.SAN.Clock()
+	}
+	n.Disk = disk.New(spec.ID, cfg, clock, n.SAN.Send, o.reg, disk.Observer{})
+	addr, err := n.SAN.Listen(spec.Topo.Disks[spec.ID])
 	if err != nil {
 		return nil, err
 	}
@@ -150,17 +249,24 @@ type ClientNode struct {
 	Reg    *stats.Registry
 }
 
-// StartClientNode launches a client that dials the server on the control
-// network and the disks on the SAN.
-func StartClientNode(id, serverID msg.NodeID, cfg client.Config,
-	serverAddr string, diskAddrs map[msg.NodeID]string) (*ClientNode, error) {
-	n := &ClientNode{Exec: NewExecutor(), Reg: stats.NewRegistry()}
-	n.Ctrl = New(id, map[msg.NodeID]string{serverID: serverAddr},
+// StartClientNode launches client spec.ID: it dials the topology's
+// server on the control network and the disks on the SAN.
+func StartClientNode(spec NodeSpec, cfg client.Config, opts ...Option) (*ClientNode, error) {
+	o := buildOptions(opts)
+	n := &ClientNode{Exec: NewExecutor(), Reg: o.reg}
+	n.Ctrl = New(spec.ID, map[msg.NodeID]string{spec.Topo.Server: spec.Topo.ServerAddr},
 		func(env msg.Envelope) { n.Client.Deliver(env) })
-	n.SAN = New(id, diskAddrs, func(env msg.Envelope) { n.Client.DeliverSAN(env) })
+	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Client.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
 	n.SAN.UseExecutor(n.Exec)
-	n.Client = client.New(id, serverID, cfg, n.Ctrl.Clock(), n.Ctrl.Send, n.SAN.Send, nil, n.Reg)
+	o.applyTransport(n.Ctrl)
+	o.applyTransport(n.SAN)
+	clock := o.clock
+	if clock == nil {
+		clock = n.Ctrl.Clock()
+	}
+	n.Client = client.New(spec.ID, spec.Topo.Server, cfg, clock,
+		n.Ctrl.Send, n.SAN.Send, nil, n.Reg, o.tracer)
 	go n.Exec.Run()
 	return n, nil
 }

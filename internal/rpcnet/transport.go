@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -42,7 +43,8 @@ type Transport struct {
 	handler  func(env msg.Envelope)
 	clock    *sim.RealClock
 
-	logf func(format string, args ...any)
+	logf   func(format string, args ...any)
+	tracer *trace.Tracer
 }
 
 // New creates a transport for node self that can dial the given peers.
@@ -61,9 +63,35 @@ func New(self msg.NodeID, addrs map[msg.NodeID]string, handler func(env msg.Enve
 }
 
 // SetLogf installs a debug logger.
+//
+// Deprecated: use SetTracer with a trace.Tracer backed by
+// trace.NewLogf — transport diagnostics then land in the same
+// totally-ordered stream as the lease-lifecycle events instead of an
+// unstructured side channel.
 func (t *Transport) SetLogf(f func(format string, args ...any)) {
 	if f != nil {
 		t.logf = f
+	}
+}
+
+// SetTracer attaches a trace bus; connection-level diagnostics (accepts,
+// dial failures, dropped sends) are emitted as EvTransport events
+// stamped with this node's ID and wall clock.
+func (t *Transport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// debugf reports a transport diagnostic to both the debug logger and,
+// when a tracer is attached, the trace bus. peer is the remote node the
+// diagnostic concerns (0 when unknown).
+func (t *Transport) debugf(peer msg.NodeID, format string, args ...any) {
+	t.logf(format, args...)
+	if t.tracer.Enabled() {
+		t.tracer.Emit(trace.Event{
+			Type: trace.EvTransport,
+			Node: t.self,
+			Time: t.clock.Now(),
+			Peer: peer,
+			Note: fmt.Sprintf(format, args...),
+		})
 	}
 }
 
@@ -111,11 +139,11 @@ func (t *Transport) handleInbound(conn net.Conn) {
 	codec := wire.NewCodec(conn)
 	from, err := codec.RecvHello()
 	if err != nil {
-		t.logf("inbound hello from %v failed: %v", conn.RemoteAddr(), err)
+		t.debugf(0, "inbound hello from %v failed: %v", conn.RemoteAddr(), err)
 		conn.Close()
 		return
 	}
-	t.logf("accepted %v from %v", from, conn.RemoteAddr())
+	t.debugf(from, "accepted %v from %v", from, conn.RemoteAddr())
 	t.register(from, codec)
 	t.readLoop(from, codec)
 }
@@ -145,7 +173,7 @@ func (t *Transport) readLoop(peer msg.NodeID, codec *wire.Codec) {
 	for {
 		env, err := codec.Recv()
 		if err != nil {
-			t.logf("read from %v: %v", peer, err)
+			t.debugf(peer, "read from %v: %v", peer, err)
 			t.dropConn(peer, codec)
 			return
 		}
@@ -162,11 +190,11 @@ func (t *Transport) Send(to msg.NodeID, m msg.Message) {
 	go func() {
 		codec, err := t.connTo(to)
 		if err != nil {
-			t.logf("send to %v: %v", to, err)
+			t.debugf(to, "send to %v: %v", to, err)
 			return
 		}
 		if err := codec.Send(&env); err != nil {
-			t.logf("send to %v: %v", to, err)
+			t.debugf(to, "send to %v: %v", to, err)
 			t.dropConn(to, codec)
 		}
 	}()

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"strconv"
+
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // handleRequest is the control-network request path. Ordering matters:
@@ -258,6 +261,7 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 // empty reply-cache history, fence lifted.
 func (s *Server) handleRejoin(client msg.NodeID, id msg.ReqID) {
 	s.transactions.Inc()
+	s.emit(trace.Event{Type: trace.EvRejoin, Peer: client})
 	s.auth.OnRejoin(client)
 	delete(s.mustRejoin, client)
 	// Always lift the fence: a restarted server has lost its fence
@@ -298,6 +302,8 @@ func (s *Server) handleReassert(client msg.NodeID, id msg.ReqID, m *msg.Reassert
 		return
 	}
 	s.transactions.Inc()
+	s.emit(trace.Event{Type: trace.EvReassert, Peer: client,
+		Note: "claims=" + strconv.Itoa(len(m.Locks))})
 	// All-or-nothing: install claims, rolling back on conflict.
 	installed := make([]msg.LockClaim, 0, len(m.Locks))
 	for _, claim := range m.Locks {

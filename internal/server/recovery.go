@@ -6,6 +6,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // pendingDemand is a server-initiated Demand awaiting its transport-level
@@ -29,6 +30,12 @@ func (s *Server) sendDemand(holder msg.NodeID, ino msg.ObjectID, to msg.LockMode
 
 func (s *Server) transmitDemand(pd *pendingDemand) {
 	s.demandsSent.Inc()
+	note := ""
+	if pd.tries > 0 {
+		note = "retry"
+	}
+	s.emit(trace.Event{Type: trace.EvDemand, Peer: pd.holder, Ino: pd.ino,
+		To: pd.to.String(), Note: note})
 	s.send(pd.holder, &msg.Demand{ID: pd.id, Ino: pd.ino, Mode: pd.to, Server: s.id})
 	pd.timer = s.clock.AfterFunc(s.cfg.Core.RetryInterval, func() {
 		if s.demands[pd.id] != pd {
@@ -36,6 +43,7 @@ func (s *Server) transmitDemand(pd *pendingDemand) {
 		}
 		if pd.tries >= s.cfg.Core.DemandRetries {
 			delete(s.demands, pd.id)
+			s.emit(trace.Event{Type: trace.EvDemandFailed, Peer: pd.holder, Ino: pd.ino})
 			s.onDeliveryFailure(pd.holder)
 			return
 		}
@@ -90,12 +98,14 @@ func (s *Server) onDeliveryFailure(client msg.NodeID) {
 	case baselines.RecoverStealImmediate:
 		// Traditional recovery, unsafe on NAS: steal now, no fence.
 		s.mustRejoin[client] = true
+		s.emit(trace.Event{Type: trace.EvStealFired, Peer: client, Note: "immediate"})
 		s.stealAndFence(client, false)
 
 	case baselines.RecoverFenceOnly:
 		// §2.1's strawman: fence at the disks, then steal. The client is
 		// not told; it discovers the fence when its I/O fails.
 		s.mustRejoin[client] = true
+		s.emit(trace.Event{Type: trace.EvStealFired, Peer: client, Note: "fence-only"})
 		s.stealAndFence(client, true)
 
 	case baselines.RecoverHeartbeatSteal:
@@ -151,6 +161,7 @@ func (s *Server) scheduleHeartbeatSteal(client msg.NodeID) {
 		}
 		delete(s.hbTimers, client)
 		s.mustRejoin[client] = true
+		s.emit(trace.Event{Type: trace.EvStealFired, Peer: client, Note: "heartbeat"})
 		s.stealAndFence(client, true)
 	}
 	s.hbTimers[client] = s.clock.AfterFunc(s.cfg.HeartbeatTTL/4, check)
@@ -165,6 +176,7 @@ func (s *Server) schedulePerObjectSteal(client msg.NodeID) {
 	s.vTimers[client] = s.clock.AfterFunc(s.cfg.Core.Bound.Stretch(s.cfg.PerObjectTTL), func() {
 		delete(s.vTimers, client)
 		s.mustRejoin[client] = true
+		s.emit(trace.Event{Type: trace.EvStealFired, Peer: client, Note: "per-object"})
 		s.stealAndFence(client, false) // V predates fencing; client-side expiry is the safety
 	})
 }
@@ -188,6 +200,7 @@ func (s *Server) stealAndFence(client msg.NodeID, fence bool) {
 
 // setFence instructs every disk to fence/unfence the client.
 func (s *Server) setFence(client msg.NodeID, on bool) {
+	s.emit(trace.Event{Type: trace.EvFence, Peer: client, On: on})
 	if on {
 		s.fencedClients[client] = true
 	} else {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Sender transmits a message on one of the two networks.
@@ -129,7 +130,8 @@ type Server struct {
 	// on the shared clock cannot act on the dead incarnation.
 	stopped bool
 
-	reg *stats.Registry
+	reg    *stats.Registry
+	tracer *trace.Tracer
 	// Counters the experiments read.
 	transactions *stats.Counter
 	msgsIn       *stats.Counter
@@ -144,8 +146,10 @@ type Server struct {
 	fences       *stats.Counter
 }
 
-// New creates a server. reg may be nil.
-func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender, reg *stats.Registry) *Server {
+// New creates a server. reg and tr may be nil; tr receives the server's
+// lease-lifecycle events (steal timers, demands, fences, rejoins).
+func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
+	reg *stats.Registry, tr *trace.Tracer) *Server {
 	cfg = cfg.withDefaults()
 	if err := cfg.Core.Validate(); err != nil {
 		panic(err)
@@ -189,8 +193,10 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender, reg *stat
 		demandsSent:  reg.Counter(prefix + "demands_sent"),
 		fences:       reg.Counter(prefix + "fences"),
 	}
+	s.tracer = tr
 	s.locks = lock.NewTable(demanderFunc(s.sendDemand))
-	s.auth = core.NewAuthority(cfg.Core, clock, authorityActions{s}, reg, prefix)
+	s.auth = core.NewAuthority(cfg.Core, clock, authorityActions{s},
+		core.Env{Reg: reg, Prefix: prefix, Tracer: tr, Node: id})
 	if cfg.Store != nil {
 		// Restart: recover the durable store, open the grace window.
 		s.store = cfg.Store
@@ -291,7 +297,19 @@ func (s *Server) reply(client msg.NodeID, req msg.ReqID, r *msg.Reply) {
 // answer, and the client may legitimately retry after rejoining.
 func (s *Server) nack(client msg.NodeID, req msg.ReqID) {
 	s.nacksSent.Inc()
+	s.emit(trace.Event{Type: trace.EvNACKSent, Peer: client})
 	s.send(client, &msg.Reply{Client: client, Req: req, Status: msg.NACK})
+}
+
+// emit stamps ev with the server's identity and clock reading and hands
+// it to the tracer, if any.
+func (s *Server) emit(ev trace.Event) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	ev.Node = s.id
+	ev.Time = s.clock.Now()
+	s.tracer.Emit(ev)
 }
 
 func (s *Server) String() string {

@@ -10,52 +10,73 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing count. Not safe for concurrent
-// use: the simulation is single-threaded, and the live transport funnels
-// all node activity through one executor goroutine per node.
+// Counter is a monotonically increasing count. Safe for concurrent use:
+// the simulation is single-threaded and the live transport funnels each
+// node's activity through one executor goroutine, but a process hosting
+// several live nodes may share one registry across their executors, and
+// monitoring (signal-handler dumps, test assertions) reads from other
+// goroutines.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
-// Add adds d (d must be ≥ 0 in spirit; negative deltas panic).
-func (c *Counter) Add(d uint64) { c.n += d }
+// Add adds d (d must be ≥ 0 in spirit; wraparound is the caller's bug).
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Gauge is an instantaneous level (e.g. bytes of lease state held).
+// Safe for concurrent use; the high-water mark is maintained with a CAS
+// loop so concurrent Sets never lose a maximum.
 type Gauge struct {
-	v   int64
-	max int64
+	v   atomic.Int64
+	max atomic.Int64
 }
 
 // Set replaces the level and tracks the high-water mark.
 func (g *Gauge) Set(v int64) {
-	g.v = v
-	if v > g.max {
-		g.max = v
+	g.v.Store(v)
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
 // Add shifts the level by d.
-func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
+func (g *Gauge) Add(d int64) {
+	v := g.v.Add(d)
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Max returns the high-water mark.
-func (g *Gauge) Max() int64 { return g.max }
+func (g *Gauge) Max() int64 { return g.max.Load() }
 
 // Histogram records durations in logarithmic buckets (~2 buckets per
 // decade from 1µs to ~18h) and exact sum/count/min/max, good enough for
-// the latency distributions the experiments report.
+// the latency distributions the experiments report. A mutex guards the
+// multi-field update; observation rates here are far below contention
+// concern.
 type Histogram struct {
+	mu      sync.Mutex
 	count   uint64
 	sum     time.Duration
 	min     time.Duration
@@ -68,6 +89,8 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 || d < h.min {
 		h.min = d
 	}
@@ -99,13 +122,23 @@ func leadingZeros64(x uint64) int {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the total of all observations.
-func (h *Histogram) Sum() time.Duration { return h.sum }
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the average observation, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -113,13 +146,24 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Min and Max return the extreme observations (0 when empty).
-func (h *Histogram) Min() time.Duration { return h.min }
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from the
 // bucket boundaries — within 2x of the true value, which suffices for the
 // shape comparisons the experiments make.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -145,8 +189,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 
 // Registry is a flat namespace of named instruments. Names are
 // dot-separated ("server.msgs.keepalive"). Instruments are created on
-// first use so protocol code never has to pre-declare them.
+// first use so protocol code never has to pre-declare them. The maps are
+// mutex-guarded so a registry may be shared across node executors and
+// read by monitoring goroutines; instrument lookups on hot paths should
+// be hoisted to construction time (as the protocol packages do).
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -163,6 +211,8 @@ func NewRegistry() *Registry {
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -173,6 +223,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns (creating if needed) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -183,6 +235,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -194,7 +248,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 // CounterValue returns the named counter's value, or 0 if it was never
 // touched (reading must not create noise entries).
 func (r *Registry) CounterValue(name string) uint64 {
-	if c, ok := r.counters[name]; ok {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if ok {
 		return c.Value()
 	}
 	return 0
@@ -202,6 +259,8 @@ func (r *Registry) CounterValue(name string) uint64 {
 
 // SumPrefix sums every counter whose name begins with prefix.
 func (r *Registry) SumPrefix(prefix string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var total uint64
 	for name, c := range r.counters {
 		if strings.HasPrefix(name, prefix) {
@@ -216,6 +275,8 @@ type Snapshot map[string]uint64
 
 // Snapshot copies current counter values.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := make(Snapshot, len(r.counters))
 	for name, c := range r.counters {
 		s[name] = c.Value()
@@ -225,6 +286,8 @@ func (r *Registry) Snapshot() Snapshot {
 
 // DiffFrom returns the per-counter increase since the earlier snapshot.
 func (r *Registry) DiffFrom(earlier Snapshot) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	d := make(Snapshot)
 	for name, c := range r.counters {
 		if delta := c.Value() - earlier[name]; delta != 0 {
@@ -236,6 +299,12 @@ func (r *Registry) DiffFrom(earlier Snapshot) Snapshot {
 
 // Names returns all counter names in sorted order.
 func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
 		names = append(names, n)
@@ -246,8 +315,10 @@ func (r *Registry) Names() []string {
 
 // Dump renders every counter, gauge and histogram as aligned text lines.
 func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
-	for _, n := range r.Names() {
+	for _, n := range r.namesLocked() {
 		fmt.Fprintf(&b, "%-40s %d\n", n, r.counters[n].Value())
 	}
 	gnames := make([]string, 0, len(r.gauges))

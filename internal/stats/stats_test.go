@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math/rand"
+	"sync"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -185,5 +186,54 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 	if h.Quantile(2) < time.Second {
 		t.Fatal("q>1 must cover max")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	// Shared registries are real in live deployments (one process hosting
+	// several node executors, plus monitoring readers); every instrument
+	// must tolerate concurrent writers and readers. Run with -race.
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared.count")
+			g := reg.Gauge("shared.level")
+			h := reg.Histogram("shared.lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(int64(w*perWorker + i))
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_ = reg.CounterValue("shared.count")
+			}
+		}()
+	}
+	// A concurrent reader exercising snapshot/diff/dump while writes run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			snap := reg.Snapshot()
+			reg.DiffFrom(snap)
+			_ = reg.Dump()
+			_ = reg.SumPrefix("shared.")
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := reg.CounterValue("shared.count"); got != workers*perWorker {
+		t.Fatalf("counter lost increments: got %d, want %d", got, workers*perWorker)
+	}
+	if max := reg.Gauge("shared.level").Max(); max < workers*perWorker-1 {
+		t.Fatalf("gauge high-water mark lost: %d", max)
+	}
+	if n := reg.Histogram("shared.lat").Count(); n != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d", n)
 	}
 }

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// Stream is a slice of events in sequence order, with the query and
+// assertion helpers tests use to state protocol invariants against the
+// event record instead of poking component internals.
+type Stream []Event
+
+// Pred selects events.
+type Pred func(Event) bool
+
+// ByType matches any of the given types.
+func ByType(types ...Type) Pred {
+	return func(e Event) bool {
+		for _, t := range types {
+			if e.Type == t {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ByNode matches events emitted at node n.
+func ByNode(n msg.NodeID) Pred {
+	return func(e Event) bool { return e.Node == n }
+}
+
+// ByPeer matches events about peer p.
+func ByPeer(p msg.NodeID) Pred {
+	return func(e Event) bool { return e.Peer == p }
+}
+
+// And conjoins predicates.
+func And(preds ...Pred) Pred {
+	return func(e Event) bool {
+		for _, p := range preds {
+			if !p(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Filter returns the events matching every predicate, preserving order.
+func (s Stream) Filter(preds ...Pred) Stream {
+	p := And(preds...)
+	var out Stream
+	for _, e := range s {
+		if p(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the earliest (lowest-Seq) matching event.
+func (s Stream) First(preds ...Pred) (Event, bool) {
+	p := And(preds...)
+	for _, e := range s {
+		if p(e) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the latest matching event.
+func (s Stream) Last(preds ...Pred) (Event, bool) {
+	p := And(preds...)
+	for i := len(s) - 1; i >= 0; i-- {
+		if p(s[i]) {
+			return s[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// Count returns how many events match.
+func (s Stream) Count(preds ...Pred) int {
+	return len(s.Filter(preds...))
+}
+
+// Precedes checks the ordering invariant "the first event matching a
+// occurs strictly before the first event matching b" (by global
+// sequence). It returns a descriptive error when either side is missing
+// or the order is violated — the shape Theorem 3.1 assertions take:
+//
+//	err := events.Precedes(
+//	    trace.And(trace.ByNode(client), trace.ByType(trace.EvExpire)),
+//	    trace.And(trace.ByNode(server), trace.ByType(trace.EvStealFired)))
+func (s Stream) Precedes(a, b Pred) error {
+	ea, oka := s.First(a)
+	eb, okb := s.First(b)
+	switch {
+	case !oka && !okb:
+		return fmt.Errorf("trace: neither event present in %d-event stream", len(s))
+	case !oka:
+		return fmt.Errorf("trace: antecedent missing (consequent: %s)", eb)
+	case !okb:
+		return fmt.Errorf("trace: consequent missing (antecedent: %s)", ea)
+	case ea.Seq >= eb.Seq:
+		return fmt.Errorf("trace: ordering violated: %s does not precede %s", ea, eb)
+	}
+	return nil
+}
+
+// None checks the absence invariant "no event matches" — the shape the
+// paper's zero-cost claim takes ("no server-side lease event during
+// steady state"). It returns an error naming the first offender.
+func (s Stream) None(preds ...Pred) error {
+	if e, ok := s.First(preds...); ok {
+		return fmt.Errorf("trace: unexpected event %s (of %d matching)", e, s.Count(preds...))
+	}
+	return nil
+}
+
+// PhaseSequence extracts the phase names node passed through, in order:
+// the To field of each of its EvPhase events.
+func (s Stream) PhaseSequence(node msg.NodeID) []string {
+	var out []string
+	for _, e := range s.Filter(ByNode(node), ByType(EvPhase)) {
+		out = append(out, e.To)
+	}
+	return out
+}
+
+// HasSubsequence reports whether want appears within got in order
+// (not necessarily contiguously).
+func HasSubsequence(got, want []string) bool {
+	i := 0
+	for _, g := range got {
+		if i < len(want) && g == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}

@@ -22,11 +22,15 @@
 package storagetank
 
 import (
+	"io"
+
 	"repro/internal/baselines"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/msg"
 	"repro/internal/multiserver"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -112,6 +116,80 @@ func NewMultiServer(opts MultiServerOptions) *MultiServer { return multiserver.N
 
 // DefaultMultiServerOptions returns a 2-server, 2-client installation.
 func DefaultMultiServerOptions() MultiServerOptions { return multiserver.DefaultOptions() }
+
+// Tracer is the lease-lifecycle event bus: attach one to a cluster
+// (Options.Tracer) or a live node (rpcnet.WithTracer) and every phase
+// transition, renewal, keep-alive, NACK, steal, demand, flush, and fence
+// lands in one totally-ordered stream.
+type Tracer = trace.Tracer
+
+// TraceEvent is one structured lease-lifecycle event.
+type TraceEvent = trace.Event
+
+// TraceStream is an ordered slice of events with assertion helpers
+// (Filter, Precedes, PhaseSequence).
+type TraceStream = trace.Stream
+
+// TraceRing is a bounded in-memory event sink.
+type TraceRing = trace.Ring
+
+// NewTracer creates an event bus fanning out to the given sinks.
+func NewTracer(sinks ...trace.Sink) *Tracer { return trace.New(sinks...) }
+
+// NewTraceRing creates an in-memory sink retaining the last n events.
+func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// NewTraceJSONL creates a sink writing each event as one JSON line.
+func NewTraceJSONL(w io.Writer) trace.Sink { return trace.NewJSONL(w) }
+
+// NewTraceLogf adapts a printf-style logger into a sink — the structured
+// replacement for the deprecated rpcnet Transport.SetLogf.
+func NewTraceLogf(logf func(format string, args ...any)) trace.Sink {
+	return trace.NewLogf(logf)
+}
+
+// NodeID identifies a participant (server, client, or disk).
+type NodeID = msg.NodeID
+
+// TraceEventType classifies a trace event.
+type TraceEventType = trace.Type
+
+// The lease-lifecycle event taxonomy (DESIGN.md §7).
+const (
+	TracePhase        = trace.EvPhase
+	TraceRenew        = trace.EvRenew
+	TraceKeepAlive    = trace.EvKeepAlive
+	TraceNACK         = trace.EvNACK
+	TraceNACKSent     = trace.EvNACKSent
+	TraceStealArmed   = trace.EvStealArmed
+	TraceStealFired   = trace.EvStealFired
+	TraceDemand       = trace.EvDemand
+	TraceDemandRecv   = trace.EvDemandRecv
+	TraceDemandFailed = trace.EvDemandFailed
+	TraceQuiesce      = trace.EvQuiesce
+	TraceFlushStart   = trace.EvFlushStart
+	TraceFlushDone    = trace.EvFlushDone
+	TraceExpire       = trace.EvExpire
+	TraceFence        = trace.EvFence
+	TraceRejoin       = trace.EvRejoin
+	TraceReassert     = trace.EvReassert
+	TraceTransport    = trace.EvTransport
+)
+
+// TracePred selects events in TraceStream queries.
+type TracePred = trace.Pred
+
+// TraceByType matches events of any of the given types.
+func TraceByType(types ...TraceEventType) TracePred { return trace.ByType(types...) }
+
+// TraceByNode matches events emitted at node n.
+func TraceByNode(n NodeID) TracePred { return trace.ByNode(n) }
+
+// TraceByPeer matches events about peer p.
+func TraceByPeer(p NodeID) TracePred { return trace.ByPeer(p) }
+
+// TraceAnd conjoins predicates.
+func TraceAnd(preds ...TracePred) TracePred { return trace.And(preds...) }
 
 // Experiment is one reproducible figure/table runner.
 type Experiment = experiments.Experiment
