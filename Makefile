@@ -1,0 +1,33 @@
+# Storage Tank reproduction — build and verification entry points.
+
+GO ?= go
+
+.PHONY: all build test race vet verify experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: everything must compile, pass vet, and
+# run the full suite (including the live-TCP chaos tests) race-clean.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Regenerate the paper's figures and tables (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/simulate -all
+
+clean:
+	$(GO) clean ./...

@@ -7,11 +7,20 @@
 //	tankd -ctrl :7001 -san-base 7101 -disks 2 -tau 30s -trace events.jsonl
 //
 // With -trace FILE every lease-lifecycle and transport event is appended
-// to FILE as JSON lines. SIGUSR1 dumps the current statistics and the
-// most recent trace events to stdout without stopping the server. On
-// SIGINT/SIGTERM it prints the server's statistics, including the
-// authority counters that demonstrate the protocol's passivity, and
+// to FILE as JSON lines. SIGUSR1 dumps the current statistics, the fault
+// plan, and the most recent trace events to stdout without stopping the
+// server. On SIGINT/SIGTERM it prints the server's statistics, including
+// the authority counters that demonstrate the protocol's passivity, and
 // exits.
+//
+// The -fault-loss, -fault-delay, and -fault-jitter flags arm a
+// control-network fault-injection plan (internal/faultnet) on the
+// server's transport: messages are dropped or delayed exactly as the
+// simulator would, and every injected drop appears in the trace as an
+// EvTransport "drop:..." event. SIGUSR2 toggles the plan at runtime, so
+// a live installation can be degraded and healed mid-experiment:
+//
+//	tankd -fault-loss 0.2 -fault-delay 5ms -fault-jitter 5ms -trace events.jsonl
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faultnet"
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
@@ -45,6 +55,11 @@ func main() {
 		tracePath  = flag.String("trace", "", "append lease-lifecycle events to FILE as JSON lines")
 		traceRing  = flag.Int("trace-ring", 256, "recent events kept for the SIGUSR1 dump")
 		verbose    = flag.Bool("v", false, "log transport events")
+
+		faultLoss   = flag.Float64("fault-loss", 0, "control-network message loss probability [0,1]")
+		faultDelay  = flag.Duration("fault-delay", 0, "added one-way control-network latency")
+		faultJitter = flag.Duration("fault-jitter", 0, "added uniform control-network jitter in [0,jitter)")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection randomness seed")
 	)
 	flag.Parse()
 
@@ -74,7 +89,18 @@ func main() {
 		tracer.Attach(trace.NewLogf(log.Printf))
 	}
 
-	nodeOpts := []rpcnet.Option{rpcnet.WithTracer(tracer)}
+	// The control-network fault plan: configured by the -fault-* flags,
+	// armed only when at least one is set, and toggled at runtime with
+	// SIGUSR2 (the dropped/delayed messages land in the trace stream as
+	// EvTransport "drop:..." events). The SAN is left clean: the paper's
+	// chaos scenarios partition the control network while the storage
+	// fabric keeps working.
+	ctrlFaults := faultnet.New(*faultSeed)
+	ctrlFaults.SetDefaultLink(faultnet.Link{Loss: *faultLoss, Delay: *faultDelay, Jitter: *faultJitter})
+	faultsConfigured := *faultLoss > 0 || *faultDelay > 0 || *faultJitter > 0
+	ctrlFaults.SetEnabled(faultsConfigured)
+
+	nodeOpts := []rpcnet.Option{rpcnet.WithTracer(tracer), rpcnet.WithFaults(ctrlFaults, nil)}
 
 	// Disks first, so the server's address book is complete.
 	topo := rpcnet.Topology{Server: 1, ServerAddr: *ctrlAddr, Disks: make(map[msg.NodeID]string)}
@@ -102,12 +128,20 @@ func main() {
 	}
 	fmt.Printf("server n1 listening on %v (policy=%s τ=%v ε=%g)\n", srv.Addr, pol.Name, *tau, *eps)
 	fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks))
+	if faultsConfigured {
+		fmt.Printf("%s (SIGUSR2 toggles)\n", ctrlFaults.Summary())
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
 	for s := range sig {
-		if s == syscall.SIGUSR1 {
-			dumpState(srv, ring)
+		switch s {
+		case syscall.SIGUSR1:
+			dumpState(srv, ring, ctrlFaults)
+			continue
+		case syscall.SIGUSR2:
+			ctrlFaults.Toggle()
+			fmt.Println(ctrlFaults.Summary())
 			continue
 		}
 		break
@@ -126,9 +160,10 @@ func main() {
 
 // dumpState prints the live metrics and the tail of the event stream —
 // the SIGUSR1 "what is the lease protocol doing right now" report.
-func dumpState(srv *rpcnet.ServerNode, ring *trace.Ring) {
+func dumpState(srv *rpcnet.ServerNode, ring *trace.Ring, faults *faultnet.Faults) {
 	fmt.Println("--- statistics ---")
 	fmt.Print(srv.Reg.Dump())
+	fmt.Println(faults.Summary())
 	evs := ring.Events()
 	fmt.Printf("--- last %d trace events (%d total) ---\n", len(evs), ring.Total())
 	for _, e := range evs {

@@ -122,6 +122,10 @@ func New(opts Options) *Cluster {
 		cl.Checker = checker.New(s)
 	}
 	cl.observeNetworks()
+	// Dropped messages land in the trace stream under the same DropReason
+	// taxonomy the live fault injector (internal/faultnet) uses.
+	cl.Control.SetTracer(opts.Tracer)
+	cl.SAN.SetTracer(opts.Tracer)
 
 	newClock := func() *sim.NodeClock {
 		if opts.ClockSkew && opts.Core.Bound.Eps > 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -249,7 +251,7 @@ func (l *LeaseClient) scheduleBoundary(next Phase) {
 // startKeepAlives sends one keep-alive immediately and then repeats at
 // even intervals across phase 2.
 func (l *LeaseClient) startKeepAlives() {
-	interval := divideEven(l.cfg.phaseStart(Phase3Suspect)-l.cfg.phaseStart(Phase2Renewal), l.cfg.KeepAlives)
+	interval := l.keepAliveInterval()
 	var fire func()
 	fire = func() {
 		if l.phase != Phase2Renewal {
@@ -261,6 +263,26 @@ func (l *LeaseClient) startKeepAlives() {
 		l.kaTimer = l.clock.AfterFunc(interval, fire)
 	}
 	fire()
+}
+
+// minKeepAliveInterval floors the keep-alive repetition rate. With a τ
+// small enough that the phase-2 window holds fewer than KeepAlives
+// clock ticks, the even division truncates to zero and the re-arming
+// AfterFunc would retrigger at zero delay — a storm that, on the
+// simulator, never lets time advance past the phase-2 entry. Clamping
+// trades keep-alive count for liveness: the phase boundary timer still
+// ends phase 2 on schedule.
+const minKeepAliveInterval = sim.Duration(time.Millisecond)
+
+// keepAliveInterval returns the (clamped) spacing of phase-2
+// keep-alives.
+func (l *LeaseClient) keepAliveInterval() sim.Duration {
+	window := l.cfg.phaseStart(Phase3Suspect) - l.cfg.phaseStart(Phase2Renewal)
+	interval := divideEven(window, l.cfg.KeepAlives)
+	if interval < minKeepAliveInterval {
+		interval = minKeepAliveInterval
+	}
+	return interval
 }
 
 // divideEven divides a duration into n even steps (n ≥ 1).

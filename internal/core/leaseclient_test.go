@@ -399,3 +399,38 @@ func TestReviveRefusedWhenLeaseAlreadyOver(t *testing.T) {
 		t.Fatal("stale revive accepted")
 	}
 }
+
+// TestKeepAliveIntervalTinyTau is the regression test for the keep-alive
+// interval underflow: with a τ so small that the phase-2 window holds
+// fewer clock ticks than KeepAlives, the even division truncated to
+// zero and the re-arming AfterFunc retriggered at zero delay — on the
+// simulator an event storm at a frozen instant, on a real clock a hot
+// loop. The interval must clamp to a positive floor and the machine
+// must still walk to expiry with a bounded keep-alive count.
+func TestKeepAliveIntervalTinyTau(t *testing.T) {
+	cfg := testCfg()
+	cfg.Tau = 10 * time.Nanosecond // phase-2 window: 2ns < KeepAlives (4) ticks
+	s, rec, l, _ := newLease(t, cfg)
+	if got := l.keepAliveInterval(); got <= 0 {
+		t.Fatalf("keep-alive interval = %v; zero-delay retrigger storm", got)
+	}
+	l.Renewed(0)
+	s.Run()
+	if l.Phase() != PhaseExpired {
+		t.Fatalf("final phase = %v, want expired", l.Phase())
+	}
+	if len(rec.keepalives) == 0 || len(rec.keepalives) > cfg.KeepAlives {
+		t.Fatalf("keepalives = %d, want in [1, %d]", len(rec.keepalives), cfg.KeepAlives)
+	}
+}
+
+// TestKeepAliveIntervalUnclamped: ordinary configurations are not
+// affected by the clamp — the spacing stays the even division of the
+// phase-2 window.
+func TestKeepAliveIntervalUnclamped(t *testing.T) {
+	cfg := testCfg() // τ=10s, window 2s, 4 keep-alives
+	_, _, l, _ := newLease(t, cfg)
+	if got, want := l.keepAliveInterval(), 500*time.Millisecond; got != want {
+		t.Fatalf("keep-alive interval = %v, want %v", got, want)
+	}
+}

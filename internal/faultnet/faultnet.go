@@ -1,0 +1,346 @@
+// Package faultnet injects simulator-style failures into the live TCP
+// transport. It gives internal/rpcnet the same failure vocabulary the
+// discrete-event simulator (internal/simnet) speaks — directed link
+// blocks, symmetric partitions, node isolation, per-link loss
+// probability, and added latency/jitter — so every scenario written
+// against the simulated network can be replayed against real sockets.
+//
+// A Faults value is a mutable fault plan shared by the transports it is
+// installed on (rpcnet.Transport.SetFaults, or rpcnet.WithFaults at node
+// construction). All mutators are safe for concurrent use and take
+// effect for subsequently judged messages, matching simnet's "state at
+// send time" semantics: a partition simply makes datagrams stop
+// arriving, while established TCP connections stay open underneath.
+//
+// Drop outcomes reuse simnet.DropReason, so a fault plan executed on the
+// simulator and on live TCP produces the same drop taxonomy in traces
+// (rpcnet and simnet both emit trace.EvTransport events whose Note is
+// DropReason.Note()).
+//
+// Judging is split by direction:
+//
+//   - JudgeSend runs on the sending transport and applies everything:
+//     structural blocks, probabilistic loss, and latency.
+//   - JudgeRecv runs on the receiving transport and applies structural
+//     blocks only. Loss and latency are the sender's business, so a
+//     plan shared by both endpoints (the in-process test harness)
+//     applies them exactly once per message.
+//
+// When only one process of a multi-process installation carries the
+// plan (cmd/tankd), JudgeRecv is what severs inbound traffic from
+// un-instrumented peers; inbound loss cannot be simulated there — use a
+// block instead.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/simnet"
+)
+
+// Link sets the delivery characteristics of one directed link (or the
+// default for all links).
+type Link struct {
+	// Loss is the probability an individual message is silently dropped.
+	Loss float64
+	// Delay is a fixed one-way latency added before the message is
+	// written to the socket.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra latency in [0, Jitter).
+	Jitter time.Duration
+}
+
+func (l Link) zero() bool { return l.Loss == 0 && l.Delay == 0 && l.Jitter == 0 }
+
+// Verdict is the outcome of judging one message.
+type Verdict struct {
+	// Deliver reports whether the message proceeds.
+	Deliver bool
+	// Reason explains a drop (simnet.Delivered when Deliver is true).
+	Reason simnet.DropReason
+	// Delay is the injected latency to apply before transmission.
+	Delay time.Duration
+}
+
+type edge struct{ from, to msg.NodeID }
+
+// Faults is a mutable, concurrency-safe fault plan for a set of live
+// transports. The zero value is not usable; call New.
+type Faults struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	enabled bool
+
+	blocked  map[edge]bool
+	isolated map[msg.NodeID]bool
+	// partitioned/side implement simnet.Partition without knowing the
+	// node universe: when active, every edge crossing the side boundary
+	// is blocked in both directions.
+	partitioned bool
+	side        map[msg.NodeID]bool
+
+	links map[edge]Link
+	def   Link
+
+	drops map[simnet.DropReason]uint64
+}
+
+// New creates an empty (everything delivered), enabled fault plan. seed
+// drives the loss/jitter randomness, so a chaos run is reproducible.
+func New(seed int64) *Faults {
+	return &Faults{
+		rng:      rand.New(rand.NewSource(seed)),
+		enabled:  true,
+		blocked:  make(map[edge]bool),
+		isolated: make(map[msg.NodeID]bool),
+		side:     make(map[msg.NodeID]bool),
+		links:    make(map[edge]Link),
+		drops:    make(map[simnet.DropReason]uint64),
+	}
+}
+
+// SetEnabled flips the master switch: a disabled plan judges every
+// message deliverable with no delay, without losing its configuration.
+func (f *Faults) SetEnabled(on bool) {
+	f.mu.Lock()
+	f.enabled = on
+	f.mu.Unlock()
+}
+
+// Enabled reports the master switch.
+func (f *Faults) Enabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.enabled
+}
+
+// Toggle flips the master switch and returns the new state (the
+// cmd/tankd SIGUSR2 handler).
+func (f *Faults) Toggle() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.enabled = !f.enabled
+	return f.enabled
+}
+
+// BlockDir blocks the directed link from → to (asymmetric partition),
+// exactly like simnet.Network.BlockDir.
+func (f *Faults) BlockDir(from, to msg.NodeID) {
+	f.mu.Lock()
+	f.blocked[edge{from, to}] = true
+	f.mu.Unlock()
+}
+
+// UnblockDir re-opens the directed link.
+func (f *Faults) UnblockDir(from, to msg.NodeID) {
+	f.mu.Lock()
+	delete(f.blocked, edge{from, to})
+	f.mu.Unlock()
+}
+
+// Block severs both directions between a and b.
+func (f *Faults) Block(a, b msg.NodeID) {
+	f.mu.Lock()
+	f.blocked[edge{a, b}] = true
+	f.blocked[edge{b, a}] = true
+	f.mu.Unlock()
+}
+
+// Unblock restores both directions between a and b.
+func (f *Faults) Unblock(a, b msg.NodeID) {
+	f.mu.Lock()
+	delete(f.blocked, edge{a, b})
+	delete(f.blocked, edge{b, a})
+	f.mu.Unlock()
+}
+
+// Partition splits the world into the given side and everyone else:
+// every message crossing the boundary, in either direction, is blocked.
+// Unlike simnet (which enumerates attached nodes), membership is tested
+// per message, so the plan needs no address book.
+func (f *Faults) Partition(side ...msg.NodeID) {
+	f.mu.Lock()
+	f.partitioned = true
+	f.side = make(map[msg.NodeID]bool, len(side))
+	for _, id := range side {
+		f.side[id] = true
+	}
+	f.mu.Unlock()
+}
+
+// Isolate blocks every link touching id, in both directions — the
+// paper's "isolated, not failed" computer.
+func (f *Faults) Isolate(id msg.NodeID) {
+	f.mu.Lock()
+	f.isolated[id] = true
+	f.mu.Unlock()
+}
+
+// Heal removes every structural fault: directed blocks, the partition,
+// and all isolations. Link loss/latency settings are kept (clear them
+// with ClearLinks).
+func (f *Faults) Heal() {
+	f.mu.Lock()
+	f.blocked = make(map[edge]bool)
+	f.isolated = make(map[msg.NodeID]bool)
+	f.partitioned = false
+	f.side = make(map[msg.NodeID]bool)
+	f.mu.Unlock()
+}
+
+// SetLink sets the loss/latency characteristics of the directed link
+// from → to (overriding the default link).
+func (f *Faults) SetLink(from, to msg.NodeID, l Link) {
+	f.mu.Lock()
+	if l.zero() {
+		delete(f.links, edge{from, to})
+	} else {
+		f.links[edge{from, to}] = l
+	}
+	f.mu.Unlock()
+}
+
+// SetDefaultLink sets the characteristics of every link without an
+// explicit override.
+func (f *Faults) SetDefaultLink(l Link) {
+	f.mu.Lock()
+	f.def = l
+	f.mu.Unlock()
+}
+
+// SetLossProb sets the default drop probability for all links — the
+// same knob as simnet.Network.SetLossProb, for fault plans written
+// against both fabrics.
+func (f *Faults) SetLossProb(p float64) {
+	f.mu.Lock()
+	f.def.Loss = p
+	f.mu.Unlock()
+}
+
+// ClearLinks removes all per-link overrides and the default link.
+func (f *Faults) ClearLinks() {
+	f.mu.Lock()
+	f.links = make(map[edge]Link)
+	f.def = Link{}
+	f.mu.Unlock()
+}
+
+// Blocked reports whether the directed link from → to is structurally
+// blocked (by a block, the partition, or isolation).
+func (f *Faults) Blocked(from, to msg.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.enabled && f.blockedLocked(from, to)
+}
+
+func (f *Faults) blockedLocked(from, to msg.NodeID) bool {
+	switch {
+	case f.isolated[from] || f.isolated[to]:
+		return true
+	case f.blocked[edge{from, to}]:
+		return true
+	case f.partitioned && f.side[from] != f.side[to]:
+		return true
+	}
+	return false
+}
+
+// JudgeSend decides the fate of a message about to be transmitted from
+// → to: structural blocks, then probabilistic loss, then latency. Drops
+// are counted by reason.
+func (f *Faults) JudgeSend(from, to msg.NodeID) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.enabled {
+		return Verdict{Deliver: true}
+	}
+	if f.blockedLocked(from, to) {
+		f.drops[simnet.DropBlocked]++
+		return Verdict{Reason: simnet.DropBlocked}
+	}
+	l, ok := f.links[edge{from, to}]
+	if !ok {
+		l = f.def
+	}
+	if l.Loss > 0 && f.rng.Float64() < l.Loss {
+		f.drops[simnet.DropLoss]++
+		return Verdict{Reason: simnet.DropLoss}
+	}
+	d := l.Delay
+	if l.Jitter > 0 {
+		d += time.Duration(f.rng.Int63n(int64(l.Jitter)))
+	}
+	return Verdict{Deliver: true, Delay: d}
+}
+
+// JudgeRecv decides the fate of a message arriving at to from from.
+// Only structural blocks apply (see the package comment).
+func (f *Faults) JudgeRecv(from, to msg.NodeID) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.enabled {
+		return Verdict{Deliver: true}
+	}
+	if f.blockedLocked(from, to) {
+		f.drops[simnet.DropBlocked]++
+		return Verdict{Reason: simnet.DropBlocked}
+	}
+	return Verdict{Deliver: true}
+}
+
+// DropCounts returns a copy of the per-reason drop totals.
+func (f *Faults) DropCounts() map[simnet.DropReason]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[simnet.DropReason]uint64, len(f.drops))
+	for r, n := range f.drops {
+		out[r] = n
+	}
+	return out
+}
+
+// Summary renders the plan's current state for operator dumps (the
+// cmd/tankd SIGUSR1 report).
+func (f *Faults) Summary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults enabled=%v", f.enabled)
+	if !f.def.zero() {
+		fmt.Fprintf(&b, " default{loss=%g delay=%v jitter=%v}", f.def.Loss, f.def.Delay, f.def.Jitter)
+	}
+	if len(f.isolated) > 0 {
+		ids := make([]msg.NodeID, 0, len(f.isolated))
+		for id := range f.isolated {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(&b, " isolated=%v", ids)
+	}
+	if f.partitioned {
+		ids := make([]msg.NodeID, 0, len(f.side))
+		for id := range f.side {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(&b, " partition=%v", ids)
+	}
+	if len(f.blocked) > 0 {
+		fmt.Fprintf(&b, " blocks=%d", len(f.blocked))
+	}
+	reasons := make([]simnet.DropReason, 0, len(f.drops))
+	for r := range f.drops {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	for _, r := range reasons {
+		fmt.Fprintf(&b, " drops[%s]=%d", r, f.drops[r])
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/simnet"
+)
+
+const (
+	nA = msg.NodeID(1)
+	nB = msg.NodeID(2)
+	nC = msg.NodeID(3)
+)
+
+func mustDeliver(t *testing.T, f *Faults, from, to msg.NodeID) {
+	t.Helper()
+	if v := f.JudgeSend(from, to); !v.Deliver {
+		t.Fatalf("send %v→%v dropped (%v), want delivered", from, to, v.Reason)
+	}
+	if v := f.JudgeRecv(from, to); !v.Deliver {
+		t.Fatalf("recv %v→%v dropped (%v), want delivered", from, to, v.Reason)
+	}
+}
+
+func mustBlock(t *testing.T, f *Faults, from, to msg.NodeID) {
+	t.Helper()
+	if v := f.JudgeSend(from, to); v.Deliver || v.Reason != simnet.DropBlocked {
+		t.Fatalf("send %v→%v = %+v, want blocked", from, to, v)
+	}
+	if v := f.JudgeRecv(from, to); v.Deliver || v.Reason != simnet.DropBlocked {
+		t.Fatalf("recv %v→%v = %+v, want blocked", from, to, v)
+	}
+}
+
+func TestEmptyPlanDeliversEverything(t *testing.T) {
+	f := New(1)
+	mustDeliver(t, f, nA, nB)
+	mustDeliver(t, f, nB, nA)
+	if n := len(f.DropCounts()); n != 0 {
+		t.Fatalf("empty plan recorded %d drop reasons", n)
+	}
+}
+
+func TestDirectedBlockIsAsymmetric(t *testing.T) {
+	f := New(1)
+	f.BlockDir(nA, nB)
+	mustBlock(t, f, nA, nB)
+	mustDeliver(t, f, nB, nA) // reverse direction stays open
+	f.UnblockDir(nA, nB)
+	mustDeliver(t, f, nA, nB)
+}
+
+func TestBlockSeversBothDirections(t *testing.T) {
+	f := New(1)
+	f.Block(nA, nB)
+	mustBlock(t, f, nA, nB)
+	mustBlock(t, f, nB, nA)
+	mustDeliver(t, f, nA, nC)
+	f.Unblock(nA, nB)
+	mustDeliver(t, f, nA, nB)
+}
+
+func TestPartitionBlocksOnlyCrossings(t *testing.T) {
+	f := New(1)
+	f.Partition(nA, nB)
+	mustDeliver(t, f, nA, nB) // same side
+	mustBlock(t, f, nA, nC)   // crossing
+	mustBlock(t, f, nC, nB)   // crossing, other direction
+}
+
+func TestIsolationCutsAllLinks(t *testing.T) {
+	f := New(1)
+	f.Isolate(nB)
+	mustBlock(t, f, nA, nB)
+	mustBlock(t, f, nB, nC)
+	mustDeliver(t, f, nA, nC)
+}
+
+func TestHealClearsStructureKeepsLinks(t *testing.T) {
+	f := New(1)
+	f.BlockDir(nA, nB)
+	f.Partition(nA)
+	f.Isolate(nC)
+	f.SetLossProb(1)
+	f.Heal()
+	if f.Blocked(nA, nB) || f.Blocked(nA, nC) || f.Blocked(nB, nC) {
+		t.Fatal("structural faults survived Heal")
+	}
+	// Loss configuration is deliberately kept across Heal.
+	if v := f.JudgeSend(nA, nB); v.Deliver || v.Reason != simnet.DropLoss {
+		t.Fatalf("post-heal send = %+v, want loss", v)
+	}
+	f.ClearLinks()
+	mustDeliver(t, f, nA, nB)
+}
+
+func TestDisabledPlanDeliversAndRemembers(t *testing.T) {
+	f := New(1)
+	f.Isolate(nA)
+	f.SetEnabled(false)
+	mustDeliver(t, f, nA, nB)
+	if on := f.Toggle(); !on {
+		t.Fatal("Toggle after disable should re-enable")
+	}
+	mustBlock(t, f, nA, nB) // configuration survived the off period
+}
+
+func TestLinkLatencyAndJitter(t *testing.T) {
+	f := New(1)
+	f.SetLink(nA, nB, Link{Delay: 40 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	for i := 0; i < 32; i++ {
+		v := f.JudgeSend(nA, nB)
+		if !v.Deliver {
+			t.Fatalf("latency-only link dropped: %+v", v)
+		}
+		if v.Delay < 40*time.Millisecond || v.Delay >= 50*time.Millisecond {
+			t.Fatalf("delay %v outside [40ms, 50ms)", v.Delay)
+		}
+	}
+	// Other links keep the (zero) default.
+	if v := f.JudgeSend(nB, nA); v.Delay != 0 {
+		t.Fatalf("reverse link has delay %v, want 0", v.Delay)
+	}
+}
+
+func TestDropCountsByReason(t *testing.T) {
+	f := New(1)
+	f.BlockDir(nA, nB)
+	f.JudgeSend(nA, nB)
+	f.JudgeSend(nA, nB)
+	f.UnblockDir(nA, nB)
+	f.SetLossProb(1)
+	f.JudgeSend(nA, nB)
+	got := f.DropCounts()
+	if got[simnet.DropBlocked] != 2 || got[simnet.DropLoss] != 1 {
+		t.Fatalf("drop counts = %v, want blocked:2 loss:1", got)
+	}
+}
+
+func TestJudgeRecvSkipsLossAndLatency(t *testing.T) {
+	// A plan shared by both endpoints must apply loss and latency exactly
+	// once per message — on the sender. The receiver only enforces
+	// structure.
+	f := New(1)
+	f.SetDefaultLink(Link{Loss: 1, Delay: time.Second})
+	if v := f.JudgeRecv(nA, nB); !v.Deliver || v.Delay != 0 {
+		t.Fatalf("JudgeRecv applied sender-side faults: %+v", v)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/disk"
+	"repro/internal/faultnet"
 	"repro/internal/msg"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -102,10 +103,12 @@ type NodeSpec struct {
 // nodeOptions collects the cross-cutting facilities a node is started
 // with; all have working defaults.
 type nodeOptions struct {
-	tracer *trace.Tracer
-	logf   func(format string, args ...any)
-	clock  sim.Clock
-	reg    *stats.Registry
+	tracer     *trace.Tracer
+	logf       func(format string, args ...any)
+	clock      sim.Clock
+	reg        *stats.Registry
+	ctrlFaults *faultnet.Faults
+	sanFaults  *faultnet.Faults
 }
 
 // Option customizes a node started by StartServerNode, StartClientNode,
@@ -139,6 +142,20 @@ func WithRegistry(reg *stats.Registry) Option {
 	return func(o *nodeOptions) { o.reg = reg }
 }
 
+// WithFaults installs fault-injection plans on the node's transports:
+// ctrl on the control network, san on the SAN (either may be nil for a
+// healthy fabric). Sharing one plan across every node of an in-process
+// installation reproduces the simulator's network-wide failure controls
+// — Partition, Isolate, per-link loss and latency — on real TCP, with
+// drops emitted through the trace bus under the same DropReason
+// taxonomy the simulator uses.
+func WithFaults(ctrl, san *faultnet.Faults) Option {
+	return func(o *nodeOptions) {
+		o.ctrlFaults = ctrl
+		o.sanFaults = san
+	}
+}
+
 func buildOptions(opts []Option) nodeOptions {
 	var o nodeOptions
 	for _, opt := range opts {
@@ -157,6 +174,22 @@ func (o nodeOptions) applyTransport(t *Transport) {
 	}
 	if o.logf != nil {
 		t.SetLogf(o.logf)
+	}
+}
+
+// applyControl configures a control-network transport; applySAN a SAN
+// one (they differ only in which fault plan applies).
+func (o nodeOptions) applyControl(t *Transport) {
+	o.applyTransport(t)
+	if o.ctrlFaults != nil {
+		t.SetFaults(o.ctrlFaults)
+	}
+}
+
+func (o nodeOptions) applySAN(t *Transport) {
+	o.applyTransport(t)
+	if o.sanFaults != nil {
+		t.SetFaults(o.sanFaults)
 	}
 }
 
@@ -181,8 +214,8 @@ func StartServerNode(spec NodeSpec, cfg server.Config, opts ...Option) (*ServerN
 	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Srv.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
 	n.SAN.UseExecutor(n.Exec)
-	o.applyTransport(n.Ctrl)
-	o.applyTransport(n.SAN)
+	o.applyControl(n.Ctrl)
+	o.applySAN(n.SAN)
 	clock := o.clock
 	if clock == nil {
 		clock = n.Ctrl.Clock()
@@ -219,7 +252,7 @@ func StartDiskNode(spec NodeSpec, cfg disk.Config, opts ...Option) (*DiskNode, e
 	n := &DiskNode{Exec: NewExecutor()}
 	n.SAN = New(spec.ID, nil, func(env msg.Envelope) { n.Disk.Deliver(env) })
 	n.SAN.UseExecutor(n.Exec)
-	o.applyTransport(n.SAN)
+	o.applySAN(n.SAN)
 	clock := o.clock
 	if clock == nil {
 		clock = n.SAN.Clock()
@@ -259,8 +292,8 @@ func StartClientNode(spec NodeSpec, cfg client.Config, opts ...Option) (*ClientN
 	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Client.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
 	n.SAN.UseExecutor(n.Exec)
-	o.applyTransport(n.Ctrl)
-	o.applyTransport(n.SAN)
+	o.applyControl(n.Ctrl)
+	o.applySAN(n.SAN)
 	clock := o.clock
 	if clock == nil {
 		clock = n.Ctrl.Clock()

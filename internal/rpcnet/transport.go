@@ -17,9 +17,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -33,6 +37,7 @@ type Transport struct {
 
 	mu       sync.Mutex
 	conns    map[msg.NodeID]*wire.Codec
+	dials    map[msg.NodeID]*dialCall
 	listener net.Listener
 	closed   bool
 
@@ -42,6 +47,13 @@ type Transport struct {
 	submitFn func(func())
 	handler  func(env msg.Envelope)
 	clock    *sim.RealClock
+
+	// dialFn establishes outbound connections (net.Dial in production;
+	// tests swap it to observe and gate dialing).
+	dialFn func(addr string) (net.Conn, error)
+	// faults, when set, is the live fault-injection plan consulted for
+	// every outbound and inbound message (see internal/faultnet).
+	faults atomic.Pointer[faultnet.Faults]
 
 	logf   func(format string, args ...any)
 	tracer *trace.Tracer
@@ -54,8 +66,10 @@ func New(self msg.NodeID, addrs map[msg.NodeID]string, handler func(env msg.Enve
 		self:    self,
 		addrs:   addrs,
 		conns:   make(map[msg.NodeID]*wire.Codec),
+		dials:   make(map[msg.NodeID]*dialCall),
 		exec:    NewExecutor(),
 		handler: handler,
+		dialFn:  func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 		logf:    func(string, ...any) {},
 	}
 	t.clock = sim.NewRealClock(t.Submit)
@@ -78,6 +92,32 @@ func (t *Transport) SetLogf(f func(format string, args ...any)) {
 // dial failures, dropped sends) are emitted as EvTransport events
 // stamped with this node's ID and wall clock.
 func (t *Transport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// SetFaults installs (or, with nil, removes) a fault-injection plan.
+// Every outbound message is judged by faults.JudgeSend — structural
+// blocks and probabilistic loss drop it, configured latency delays it —
+// and every inbound message by faults.JudgeRecv. Safe to call at
+// runtime; faults apply to messages judged after the call.
+func (t *Transport) SetFaults(f *faultnet.Faults) { t.faults.Store(f) }
+
+// Faults returns the installed fault plan, if any.
+func (t *Transport) Faults() *faultnet.Faults { return t.faults.Load() }
+
+// dropInjected reports a fault-injected drop: the canonical
+// EvTransport note (DropReason.Note()) plus the debug log. dir is
+// "send" or "recv" for the log line only.
+func (t *Transport) dropInjected(peer msg.NodeID, r simnet.DropReason, dir string) {
+	t.logf("rpcnet: fault injection dropped %s %v (%s)", dir, peer, r)
+	if t.tracer.Enabled() {
+		t.tracer.Emit(trace.Event{
+			Type: trace.EvTransport,
+			Node: t.self,
+			Time: t.clock.Now(),
+			Peer: peer,
+			Note: r.Note(),
+		})
+	}
+}
 
 // debugf reports a transport diagnostic to both the debug logger and,
 // when a tracer is attached, the trace bus. peer is the remote node the
@@ -177,6 +217,12 @@ func (t *Transport) readLoop(peer msg.NodeID, codec *wire.Codec) {
 			t.dropConn(peer, codec)
 			return
 		}
+		if f := t.faults.Load(); f != nil {
+			if v := f.JudgeRecv(env.From, t.self); !v.Deliver {
+				t.dropInjected(env.From, v.Reason, "recv")
+				continue
+			}
+		}
 		e := *env
 		t.Submit(func() { t.handler(e) })
 	}
@@ -184,10 +230,24 @@ func (t *Transport) readLoop(peer msg.NodeID, codec *wire.Codec) {
 
 // Send transmits best-effort. It runs the (possibly blocking) dial and
 // write on a goroutine so the executor never stalls; failures drop the
-// message, exactly like a lost datagram.
+// message, exactly like a lost datagram. An installed fault plan is
+// consulted first: blocked or lost messages are dropped before any
+// socket work, and injected latency sleeps on the send goroutine.
 func (t *Transport) Send(to msg.NodeID, m msg.Message) {
 	env := msg.Envelope{From: t.self, To: to, Payload: m}
+	var delay time.Duration
+	if f := t.faults.Load(); f != nil {
+		v := f.JudgeSend(t.self, to)
+		if !v.Deliver {
+			t.dropInjected(to, v.Reason, "send")
+			return
+		}
+		delay = v.Delay
+	}
 	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
 		codec, err := t.connTo(to)
 		if err != nil {
 			t.debugf(to, "send to %v: %v", to, err)
@@ -200,23 +260,54 @@ func (t *Transport) Send(to msg.NodeID, m msg.Message) {
 	}()
 }
 
-// connTo returns (dialing if necessary) a connection to the peer.
+// dialCall is an in-flight dial to one peer; concurrent senders wait on
+// done instead of dialing again.
+type dialCall struct {
+	done  chan struct{}
+	codec *wire.Codec
+	err   error
+}
+
+// connTo returns (dialing if necessary) a connection to the peer. Dials
+// are single-flight per peer: without that, two simultaneous Sends to
+// an unconnected peer would both dial, the loser's connection would be
+// closed by register, and its in-flight message silently lost even
+// though the network was healthy.
 func (t *Transport) connTo(peer msg.NodeID) (*wire.Codec, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[peer]; ok {
 		t.mu.Unlock()
 		return c, nil
 	}
-	addr, ok := t.addrs[peer]
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
+	if t.closed {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("rpcnet: transport closed")
 	}
+	if dc, ok := t.dials[peer]; ok {
+		t.mu.Unlock()
+		<-dc.done
+		return dc.codec, dc.err
+	}
+	addr, ok := t.addrs[peer]
 	if !ok {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("rpcnet: no address for %v and no inbound connection", peer)
 	}
-	conn, err := net.Dial("tcp", addr)
+	dc := &dialCall{done: make(chan struct{})}
+	t.dials[peer] = dc
+	t.mu.Unlock()
+
+	dc.codec, dc.err = t.dial(peer, addr)
+	t.mu.Lock()
+	delete(t.dials, peer)
+	t.mu.Unlock()
+	close(dc.done)
+	return dc.codec, dc.err
+}
+
+// dial establishes, hellos, and registers one outbound connection.
+func (t *Transport) dial(peer msg.NodeID, addr string) (*wire.Codec, error) {
+	conn, err := t.dialFn(addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: dial %v (%s): %w", peer, addr, err)
 	}

@@ -1,0 +1,60 @@
+package rpcnet
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// TestConnToSingleFlight is the regression test for the concurrent-dial
+// race: two (or more) simultaneous Sends to an unconnected peer each
+// used to dial, and every register replaced — and closed — the previous
+// winner's connection, so a message written on a just-replaced codec
+// was silently lost on a perfectly healthy network. The dial must be
+// single-flight per peer: one TCP connection, every message delivered.
+func TestConnToSingleFlight(t *testing.T) {
+	var delivered atomic.Int32
+	recv := New(2, nil, func(msg.Envelope) { delivered.Add(1) })
+	go recv.Run()
+	defer recv.Close()
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := New(1, map[msg.NodeID]string{2: addr.String()}, func(msg.Envelope) {})
+	go tr.Run()
+	defer tr.Close()
+
+	// Gate the dial so every concurrent Send reaches connTo while the
+	// peer is still unconnected — the deterministic version of the race.
+	var dials atomic.Int32
+	gate := make(chan struct{})
+	tr.dialFn = func(a string) (net.Conn, error) {
+		dials.Add(1)
+		<-gate
+		return net.Dial("tcp", a)
+	}
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		tr.Send(2, &msg.KeepAlive{ReqHeader: msg.ReqHeader{Client: 1, Req: msg.ReqID(i + 1)}})
+	}
+	// Let all n send goroutines reach the dial path, then release it.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("%d concurrent sends dialed %d times, want 1 (single-flight)", n, got)
+	}
+	if got := delivered.Load(); got != n {
+		t.Fatalf("delivered %d of %d messages sent on a healthy network", got, n)
+	}
+}

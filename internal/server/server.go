@@ -202,7 +202,15 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		s.store = cfg.Store
 		s.inRecovery = true
 		s.graceUntil = clock.Now().Add(cfg.GracePeriod)
-		clock.AfterFunc(cfg.GracePeriod, func() { s.inRecovery = false })
+		clock.AfterFunc(cfg.GracePeriod, func() {
+			if s.stopped {
+				// This incarnation crashed during its grace window and
+				// was replaced; like every other timer path, a stale
+				// callback must not act on the dead incarnation.
+				return
+			}
+			s.inRecovery = false
+		})
 	}
 	return s
 }
@@ -216,6 +224,12 @@ func (s *Server) Stop() { s.stopped = true }
 func (s *Server) InGrace() bool {
 	return s.inRecovery && s.clock.Now().Before(s.graceUntil)
 }
+
+// Recovering reports whether this incarnation still considers itself in
+// post-restart recovery. For a stopped (crashed) incarnation the flag is
+// frozen at its crash-time value: the stale grace timer must not mutate
+// a retired server.
+func (s *Server) Recovering() bool { return s.inRecovery }
 
 type demanderFunc func(holder msg.NodeID, ino msg.ObjectID, to msg.LockMode, id msg.DemandID)
 

@@ -180,3 +180,41 @@ func TestFuncReadHoleReturnsZeros(t *testing.T) {
 		}
 	}
 }
+
+// TestGraceTimerIgnoresStoppedIncarnation is the regression test for the
+// stale grace-period timer: a server that crashes DURING its
+// post-restart grace window leaves an AfterFunc(GracePeriod, ...)
+// pending on the shared clock. That callback used to clear inRecovery
+// unconditionally — mutating the retired incarnation after Stop(),
+// unlike every other timer path, which checks s.stopped. The retired
+// incarnation's recovery flag must stay frozen at its crash-time value,
+// while the live incarnation's own window closes normally.
+func TestGraceTimerIgnoresStoppedIncarnation(t *testing.T) {
+	cl := boot(t)
+	cl.CrashServer()
+	cl.RunFor(time.Second)
+
+	cl.RestartServer()
+	mid := cl.Server // incarnation 2: grace window open
+	if !mid.InGrace() || !mid.Recovering() {
+		t.Fatal("restarted server must open a grace window")
+	}
+
+	// Crash again midway through the grace window, then restart.
+	cl.RunFor(500 * time.Millisecond)
+	cl.CrashServer() // Stop()s the mid incarnation; its grace timer stays armed
+	cl.RestartServer()
+	final := cl.Server
+
+	// Run well past both grace windows: the stale timer fires now.
+	cl.RunFor(3 * cl.Opts.Core.StealDelay())
+	if !mid.Recovering() {
+		t.Fatal("stale grace timer mutated the stopped incarnation")
+	}
+	if final.Recovering() {
+		t.Fatal("live incarnation's grace window never closed")
+	}
+	if final.InGrace() {
+		t.Fatal("live incarnation still reports an open grace window")
+	}
+}

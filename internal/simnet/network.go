@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Handler receives delivered messages. Handlers run on the scheduler
@@ -75,6 +76,13 @@ func (r DropReason) String() string {
 	return fmt.Sprintf("DropReason(%d)", uint8(r))
 }
 
+// Note renders the reason as the canonical trace.EvTransport note
+// ("drop:blocked", "drop:loss", ...). Both this simulated fabric and the
+// live fault injector (internal/faultnet via internal/rpcnet) stamp
+// dropped messages with this note, so a fault plan executed on either
+// produces the same drop taxonomy in traces.
+func (r DropReason) Note() string { return "drop:" + r.String() }
+
 type edge struct{ from, to msg.NodeID }
 
 // Network is one simulated datagram fabric.
@@ -87,6 +95,10 @@ type Network struct {
 	// Observer, if set, sees every send attempt and its outcome. The
 	// cluster uses it for message/byte accounting.
 	Observer func(Event)
+	// tracer, if set, receives an EvTransport event for every dropped
+	// message (Note = DropReason.Note()), matching the live transport's
+	// fault injector so sim and live traces are comparable.
+	tracer *trace.Tracer
 
 	sent, delivered, dropped uint64
 }
@@ -107,6 +119,30 @@ func New(s *sim.Scheduler, cfg Config) *Network {
 
 // Name returns the configured network name.
 func (n *Network) Name() string { return n.cfg.Name }
+
+// SetTracer attaches a trace bus: every dropped message is emitted as an
+// EvTransport event stamped with the sender, the intended receiver, and
+// the drop reason's canonical note.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
+
+// SetLossProb changes the network's random-loss probability at runtime —
+// the same knob as faultnet.Faults.SetLossProb, so one fault plan runs
+// against both fabrics.
+func (n *Network) SetLossProb(p float64) { n.cfg.LossProb = p }
+
+// traceDrop reports a dropped message to the trace bus, if any.
+func (n *Network) traceDrop(env msg.Envelope, r DropReason) {
+	if !n.tracer.Enabled() {
+		return
+	}
+	n.tracer.Emit(trace.Event{
+		Type: trace.EvTransport,
+		Node: env.From,
+		Time: n.sched.Now(),
+		Peer: env.To,
+		Note: r.Note(),
+	})
+}
 
 // Attach registers a node's receive handler. Re-attaching replaces the
 // handler (used when a crashed node restarts with fresh state).
@@ -129,6 +165,7 @@ func (n *Network) Send(from, to msg.NodeID, payload msg.Message) {
 	env := msg.Envelope{From: from, To: to, Payload: payload}
 	drop := func(r DropReason) {
 		n.dropped++
+		n.traceDrop(env, r)
 		if n.Observer != nil {
 			n.Observer(Event{At: n.sched.Now(), Env: env, Reason: r})
 		}
@@ -152,6 +189,7 @@ func (n *Network) Send(from, to msg.NodeID, payload msg.Message) {
 		// datagram was in flight does not receive it.
 		if n.crashed[to] || n.nodes[to] == nil {
 			n.dropped++
+			n.traceDrop(env, DropCrashed)
 			if n.Observer != nil {
 				n.Observer(Event{At: n.sched.Now(), Env: env, Reason: DropCrashed})
 			}

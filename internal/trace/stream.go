@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/msg"
 )
@@ -34,6 +35,19 @@ func ByNode(n msg.NodeID) Pred {
 // ByPeer matches events about peer p.
 func ByPeer(p msg.NodeID) Pred {
 	return func(e Event) bool { return e.Peer == p }
+}
+
+// ByNote matches events whose Note is exactly note — e.g. a specific
+// drop reason's canonical note on EvTransport events.
+func ByNote(note string) Pred {
+	return func(e Event) bool { return e.Note == note }
+}
+
+// ByNotePrefix matches events whose Note starts with prefix — e.g.
+// "drop:" selects every fault-induced transport drop regardless of
+// reason.
+func ByNotePrefix(prefix string) Pred {
+	return func(e Event) bool { return strings.HasPrefix(e.Note, prefix) }
 }
 
 // And conjoins predicates.

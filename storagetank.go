@@ -28,8 +28,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faultnet"
 	"repro/internal/msg"
 	"repro/internal/multiserver"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -190,6 +192,38 @@ func TraceByPeer(p NodeID) TracePred { return trace.ByPeer(p) }
 
 // TraceAnd conjoins predicates.
 func TraceAnd(preds ...TracePred) TracePred { return trace.And(preds...) }
+
+// TraceByNote matches events whose Note is exactly note.
+func TraceByNote(note string) TracePred { return trace.ByNote(note) }
+
+// TraceByNotePrefix matches events whose Note starts with prefix
+// ("drop:" selects every fault-induced transport drop).
+func TraceByNotePrefix(prefix string) TracePred { return trace.ByNotePrefix(prefix) }
+
+// Faults is a runtime-mutable fault-injection plan for live TCP
+// transports: directed blocks, partitions, isolation, per-link loss and
+// latency — the simulator's failure vocabulary on real sockets. Install
+// with rpcnet.WithFaults (or tankd's -fault-* flags); injected drops
+// appear in traces as EvTransport events noted "drop:<reason>".
+type Faults = faultnet.Faults
+
+// FaultLink sets loss/latency characteristics of one directed link.
+type FaultLink = faultnet.Link
+
+// NewFaults creates an empty, enabled fault plan with seeded randomness.
+func NewFaults(seed int64) *Faults { return faultnet.New(seed) }
+
+// DropReason classifies an undelivered message, identically on the
+// simulated and the live network.
+type DropReason = simnet.DropReason
+
+// The drop taxonomy shared by simnet and faultnet.
+const (
+	DropLoss       = simnet.DropLoss
+	DropBlocked    = simnet.DropBlocked
+	DropCrashed    = simnet.DropCrashed
+	DropNoSuchNode = simnet.DropNoSuchNode
+)
 
 // Experiment is one reproducible figure/table runner.
 type Experiment = experiments.Experiment
