@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet verify experiments clean
+.PHONY: all build test race vet verify bench experiments clean
 
 all: build
 
@@ -19,11 +19,19 @@ race:
 	$(GO) test -race ./...
 
 # verify is the pre-merge gate: everything must compile, pass vet, and
-# run the full suite (including the live-TCP chaos tests) race-clean.
+# run the full suite (including the live-TCP chaos tests and the
+# kill -9 crash-restart durability harness) race-clean.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run TestCrashRestartDurability ./internal/rpcnet/
+
+# bench runs every benchmark with allocation stats and renders the
+# results as BENCH_tier1.json (op/s and ns/op per benchmark; see
+# cmd/benchjson).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_tier1.json
 
 # Regenerate the paper's figures and tables (see EXPERIMENTS.md).
 experiments:

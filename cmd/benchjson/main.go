@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON report: one record per benchmark with iteration count, ns/op,
+// derived op/s, and every extra metric the -benchmem flags emit (B/op,
+// allocs/op, custom ReportMetric units). The Makefile's `bench` target
+// uses it to produce BENCH_tier1.json:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -o BENCH_tier1.json
+//
+// Non-benchmark lines (PASS, ok, package headers) pass through to
+// stderr so a terminal run still shows the suite's progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	// Name is the benchmark's full name including any -cpu suffix
+	// (e.g. "BenchmarkLeaseRenewal-8").
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in, taken from the preceding
+	// "pkg:" header (empty if the stream carried none).
+	Pkg string `json:"pkg,omitempty"`
+	// Iters is b.N: how many iterations the timing covers.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the headline latency metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is 1e9/NsPerOp, the throughput view of the same number.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Metrics holds every further "value unit" pair on the line:
+	// "B/op", "allocs/op", and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to FILE (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		if r, ok := parseBenchLine(line, pkg); ok {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one "BenchmarkName-8  1234  987 ns/op  0 B/op ..."
+// line. The format is fields alternating value/unit after the name and
+// iteration count.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Pkg: pkg, Iters: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+			if val > 0 {
+				r.OpsPerSec = 1e9 / val
+			}
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = val
+	}
+	if r.NsPerOp == 0 && r.Metrics == nil {
+		return Result{}, false
+	}
+	return r, true
+}

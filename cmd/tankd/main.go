@@ -29,16 +29,19 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/faultnet"
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -49,6 +52,8 @@ func main() {
 		sanBase    = flag.Int("san-base", 7101, "first SAN port; disk i listens on san-base+i")
 		nDisks     = flag.Int("disks", 2, "number of SAN disks to host")
 		diskBlocks = flag.Uint64("disk-blocks", 1<<16, "capacity of each disk in 4KiB blocks")
+		dataDir    = flag.String("data-dir", "", "persist disk contents under DIR/disk-<id> (file-backed media; empty = in-memory, lost on exit)")
+		noSync     = flag.Bool("no-fsync", false, "with -data-dir, skip per-operation fsync (durable across process restarts, not power loss)")
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ")
 		eps        = flag.Float64("eps", 0.05, "clock rate-synchronization bound ε")
 		policyName = flag.String("policy", "storage-tank", "recovery policy (see internal/baselines)")
@@ -100,17 +105,42 @@ func main() {
 	faultsConfigured := *faultLoss > 0 || *faultDelay > 0 || *faultJitter > 0
 	ctrlFaults.SetEnabled(faultsConfigured)
 
-	nodeOpts := []rpcnet.Option{rpcnet.WithTracer(tracer), rpcnet.WithFaults(ctrlFaults, nil)}
+	// One registry shared by the server and every disk in this process,
+	// so the SIGUSR1/exit dumps cover the whole installation (including
+	// the media layer's fsync and journal instruments).
+	reg := stats.NewRegistry()
+	nodeOpts := []rpcnet.Option{rpcnet.WithTracer(tracer), rpcnet.WithFaults(ctrlFaults, nil),
+		rpcnet.WithRegistry(reg)}
 
-	// Disks first, so the server's address book is complete.
+	// Disks first, so the server's address book is complete. With
+	// -data-dir each disk opens (or recovers) a file-backed store, so a
+	// tankd restart from the same directory preserves every acknowledged
+	// write and the fence table; without it the media is in-memory.
 	topo := rpcnet.Topology{Server: 1, ServerAddr: *ctrlAddr, Disks: make(map[msg.NodeID]string)}
 	diskCaps := make(map[msg.NodeID]uint64)
 	var diskNodes []*rpcnet.DiskNode
 	for i := 0; i < *nDisks; i++ {
 		id := msg.NodeID(1000 + i)
+		diskOpts := nodeOpts
+		if *dataDir != "" {
+			dir := filepath.Join(*dataDir, fmt.Sprintf("disk-%d", id))
+			media, err := blockstore.Open(dir, blockstore.Options{
+				Blocks: *diskBlocks, NoSync: *noSync,
+				Registry: reg, StatsPrefix: fmt.Sprintf("disk.%v.media.", id),
+			})
+			if err != nil {
+				log.Fatalf("disk %v media: %v", id, err)
+			}
+			if rep := media.Recovery(); rep.Recovered {
+				fmt.Printf("disk %v recovered from %s: %v\n", id, dir, rep)
+			} else {
+				fmt.Printf("disk %v created %s (%d blocks)\n", id, dir, *diskBlocks)
+			}
+			diskOpts = append(append([]rpcnet.Option(nil), nodeOpts...), rpcnet.WithMedia(media))
+		}
 		topo.Disks[id] = fmt.Sprintf("%s:%d", *sanHost, *sanBase+i)
 		dn, err := rpcnet.StartDiskNode(rpcnet.NodeSpec{ID: id, Topo: topo},
-			disk.Config{Blocks: *diskBlocks}, nodeOpts...)
+			disk.Config{Blocks: *diskBlocks}, diskOpts...)
 		if err != nil {
 			log.Fatalf("disk %v: %v", id, err)
 		}

@@ -1,0 +1,449 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// On-media layout. Three files in one directory:
+//
+//	data.blk   block b's 4 KiB of data at offset b·BlockSize (append-free:
+//	           every write is a pwrite at its final address)
+//	meta.blk   a 4 KiB superblock, then one 24-byte trailer per block at
+//	           superSize + b·trailerSize
+//	fence.wal  the write-ahead fence journal: 12-byte records appended
+//	           and fsynced before a FenceSet is acknowledged
+//
+// Trailer record: ver u64 | dataCRC u32 | flags u32 | recCRC u32 | pad.
+// dataCRC is CRC32C over the full zero-padded block; recCRC covers the
+// first 16 bytes, so a trailer torn mid-sector is itself detectable.
+//
+// Journal record: target u32 | on u32 | recCRC u32 (over the first 8).
+// Replay stops at the first record whose CRC fails — a torn journal tail
+// loses only unacknowledged fence operations.
+const (
+	dataFileName  = "data.blk"
+	metaFileName  = "meta.blk"
+	fenceFileName = "fence.wal"
+
+	superSize   = 4096
+	trailerSize = 24
+	fenceRecLen = 12
+
+	flagWritten = 1 << 0
+)
+
+var (
+	superMagic = [8]byte{'T', 'A', 'N', 'K', 'B', 'L', 'K', '1'}
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// DataPath returns the path of the store's data file — exported so crash
+// harnesses can tear blocks the way a mid-write power cut would.
+func DataPath(dir string) string { return filepath.Join(dir, dataFileName) }
+
+// DataOffset returns block's byte offset within the data file.
+func DataOffset(block uint64) int64 { return int64(block) * BlockSize }
+
+// Options configures a file-backed store.
+type Options struct {
+	// Blocks is the device capacity. Required when creating; when opening
+	// an existing store it must match the superblock (0 accepts whatever
+	// the superblock records).
+	Blocks uint64
+	// NoSync skips the per-operation fsync. Acknowledged durability then
+	// relies on the OS page cache (which survives a killed process but
+	// not a machine crash); tests use it to keep bursts fast.
+	NoSync bool
+	// Registry, when non-nil, receives the store's instruments under
+	// StatsPrefix: fsyncs, fsync latency, journal records, and the
+	// recovery verified/torn counts.
+	Registry    *stats.Registry
+	StatsPrefix string
+}
+
+type blockState struct {
+	ver  uint64
+	crc  uint32
+	torn bool
+}
+
+// File is the durable media serving live disk nodes. Not concurrency-safe
+// by design: the owning disk serializes access (single actuator).
+type File struct {
+	dir      string
+	capacity uint64
+	noSync   bool
+
+	data  *os.File
+	meta  *os.File
+	fence *os.File
+
+	index    map[uint64]blockState
+	fenced   map[msg.NodeID]bool
+	walSize  int64
+	recovery RecoveryReport
+
+	fsyncs     *stats.Counter
+	journalRec *stats.Counter
+	fsyncWait  *stats.Histogram
+}
+
+// Open creates or recovers a file-backed store in dir. On an existing
+// store it replays the fence journal, verifies the checksum of every
+// written block, and records the outcome in Recovery().
+func Open(dir string, opts Options) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	f := &File{
+		dir:    dir,
+		noSync: opts.NoSync,
+		index:  make(map[uint64]blockState),
+		fenced: make(map[msg.NodeID]bool),
+	}
+	if opts.Registry != nil {
+		f.fsyncs = opts.Registry.Counter(opts.StatsPrefix + "fsyncs")
+		f.journalRec = opts.Registry.Counter(opts.StatsPrefix + "journal_records")
+		f.fsyncWait = opts.Registry.Histogram(opts.StatsPrefix + "fsync_wait")
+	}
+	var err error
+	if f.meta, err = os.OpenFile(filepath.Join(dir, metaFileName), os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	if f.data, err = os.OpenFile(filepath.Join(dir, dataFileName), os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		f.meta.Close()
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	if f.fence, err = os.OpenFile(filepath.Join(dir, fenceFileName), os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		f.meta.Close()
+		f.data.Close()
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	st, err := f.meta.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	if st.Size() == 0 {
+		if opts.Blocks == 0 {
+			f.Close()
+			return nil, fmt.Errorf("blockstore: creating %s: Options.Blocks must be set", dir)
+		}
+		f.capacity = opts.Blocks
+		if err := f.writeSuper(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return f, nil
+	}
+	if err := f.readSuper(opts.Blocks); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.recoverBlocks(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.recoverFences(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.recovery.Recovered = true
+	sortReport(&f.recovery)
+	return f, nil
+}
+
+func (f *File) writeSuper() error {
+	buf := make([]byte, superSize)
+	copy(buf, superMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], BlockSize)
+	binary.LittleEndian.PutUint32(buf[12:], trailerSize)
+	binary.LittleEndian.PutUint64(buf[16:], f.capacity)
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(buf[:24], castagnoli))
+	if _, err := f.meta.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("blockstore: superblock: %w", err)
+	}
+	return f.sync(f.meta)
+}
+
+func (f *File) readSuper(wantBlocks uint64) error {
+	buf := make([]byte, superSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f.meta, 0, superSize), buf); err != nil {
+		return fmt.Errorf("blockstore: superblock read: %w", err)
+	}
+	if [8]byte(buf[:8]) != superMagic {
+		return fmt.Errorf("blockstore: %s: bad magic", f.dir)
+	}
+	if crc := binary.LittleEndian.Uint32(buf[24:]); crc != crc32.Checksum(buf[:24], castagnoli) {
+		return fmt.Errorf("blockstore: %s: superblock checksum mismatch", f.dir)
+	}
+	if bs := binary.LittleEndian.Uint32(buf[8:]); bs != BlockSize {
+		return fmt.Errorf("blockstore: %s: block size %d, built for %d", f.dir, bs, BlockSize)
+	}
+	f.capacity = binary.LittleEndian.Uint64(buf[16:])
+	if wantBlocks != 0 && wantBlocks != f.capacity {
+		return fmt.Errorf("blockstore: %s: capacity %d blocks, asked for %d", f.dir, f.capacity, wantBlocks)
+	}
+	return nil
+}
+
+// recoverBlocks scans every trailer and re-checksums each written block:
+// the open-time verification pass. A trailer whose own CRC fails, or a
+// block whose data no longer matches its trailer's CRC, is torn.
+func (f *File) recoverBlocks() error {
+	st, err := f.meta.Stat()
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	nTrailers := (st.Size() - superSize) / trailerSize
+	rec := make([]byte, trailerSize)
+	blockBuf := make([]byte, BlockSize)
+	for i := int64(0); i < nTrailers; i++ {
+		if _, err := io.ReadFull(io.NewSectionReader(f.meta, superSize+i*trailerSize, trailerSize), rec); err != nil {
+			return fmt.Errorf("blockstore: trailer %d: %w", i, err)
+		}
+		ver := binary.LittleEndian.Uint64(rec[0:])
+		dataCRC := binary.LittleEndian.Uint32(rec[8:])
+		flags := binary.LittleEndian.Uint32(rec[12:])
+		recCRC := binary.LittleEndian.Uint32(rec[16:])
+		if flags&flagWritten == 0 && recCRC == 0 && ver == 0 && dataCRC == 0 {
+			continue // never-written hole
+		}
+		block := uint64(i)
+		if recCRC != crc32.Checksum(rec[:16], castagnoli) {
+			f.markTorn(block)
+			continue
+		}
+		if flags&flagWritten == 0 {
+			continue
+		}
+		n, err := f.data.ReadAt(blockBuf, DataOffset(block))
+		if err != nil && (err != io.EOF || n != BlockSize) {
+			f.markTorn(block)
+			continue
+		}
+		if crc32.Checksum(blockBuf, castagnoli) != dataCRC {
+			f.markTorn(block)
+			continue
+		}
+		f.index[block] = blockState{ver: ver, crc: dataCRC}
+		f.recovery.Verified++
+	}
+	return nil
+}
+
+func (f *File) markTorn(block uint64) {
+	f.index[block] = blockState{torn: true}
+	f.recovery.Torn = append(f.recovery.Torn, block)
+}
+
+// recoverFences replays the journal, then compacts it so the file stays
+// proportional to the live fence table rather than to history.
+func (f *File) recoverFences() error {
+	st, err := f.fence.Stat()
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	rec := make([]byte, fenceRecLen)
+	var off int64
+	for off+fenceRecLen <= st.Size() {
+		if _, err := io.ReadFull(io.NewSectionReader(f.fence, off, fenceRecLen), rec); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(rec[8:]) != crc32.Checksum(rec[:8], castagnoli) {
+			break // torn tail: an unacknowledged append
+		}
+		target := msg.NodeID(int32(binary.LittleEndian.Uint32(rec[0:])))
+		if binary.LittleEndian.Uint32(rec[4:]) != 0 {
+			f.fenced[target] = true
+		} else {
+			delete(f.fenced, target)
+		}
+		f.recovery.JournalRecords++
+		off += fenceRecLen
+	}
+	for id := range f.fenced {
+		f.recovery.Fenced = append(f.recovery.Fenced, id)
+	}
+	return f.compactJournal()
+}
+
+// compactJournal rewrites the journal as one set-record per live fence,
+// atomically (write temp, fsync, rename, reopen).
+func (f *File) compactJournal() error {
+	tmp := filepath.Join(f.dir, fenceFileName+".tmp")
+	w, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("blockstore: compact: %w", err)
+	}
+	var buf []byte
+	for id := range f.fenced {
+		buf = append(buf, fenceRecord(id, true)...)
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return fmt.Errorf("blockstore: compact: %w", err)
+	}
+	if err := f.sync(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("blockstore: compact: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, fenceFileName)); err != nil {
+		return fmt.Errorf("blockstore: compact: %w", err)
+	}
+	old := f.fence
+	if f.fence, err = os.OpenFile(filepath.Join(f.dir, fenceFileName), os.O_RDWR, 0o644); err != nil {
+		f.fence = old
+		return fmt.Errorf("blockstore: compact: %w", err)
+	}
+	old.Close()
+	f.walSize = int64(len(buf))
+	return nil
+}
+
+func fenceRecord(target msg.NodeID, on bool) []byte {
+	rec := make([]byte, fenceRecLen)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(int32(target)))
+	if on {
+		binary.LittleEndian.PutUint32(rec[4:], 1)
+	}
+	binary.LittleEndian.PutUint32(rec[8:], crc32.Checksum(rec[:8], castagnoli))
+	return rec
+}
+
+// sync fsyncs one file, instrumented.
+func (f *File) sync(file *os.File) error {
+	if f.noSync {
+		return nil
+	}
+	start := time.Now()
+	err := file.Sync()
+	if f.fsyncs != nil {
+		f.fsyncs.Inc()
+		f.fsyncWait.Observe(time.Since(start))
+	}
+	if err != nil {
+		return fmt.Errorf("blockstore: fsync: %w", err)
+	}
+	return nil
+}
+
+// Read serves one block, re-verifying its checksum against the trailer so
+// corruption is detected at the moment it would otherwise be served.
+func (f *File) Read(block uint64) (data []byte, ver uint64, ok bool, err error) {
+	if block >= f.capacity {
+		return nil, 0, false, fmt.Errorf("blockstore: block %d beyond capacity %d", block, f.capacity)
+	}
+	st, ok := f.index[block]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	if st.torn {
+		return nil, 0, true, fmt.Errorf("block %d: %w", block, ErrTorn)
+	}
+	buf := make([]byte, BlockSize)
+	if _, err := f.data.ReadAt(buf, DataOffset(block)); err != nil {
+		return nil, 0, true, fmt.Errorf("blockstore: read block %d: %w", block, err)
+	}
+	if crc32.Checksum(buf, castagnoli) != st.crc {
+		// Detected at serve time rather than open (e.g. media decayed
+		// under a running node): fail-stop this block, but leave the
+		// open-time recovery report describing only what Open found.
+		f.index[block] = blockState{torn: true}
+		return nil, 0, true, fmt.Errorf("block %d: %w", block, ErrTorn)
+	}
+	return buf, st.ver, true, nil
+}
+
+// Write stores one block durably: data first, trailer second, fsync both
+// before returning, so the caller's acknowledgment implies durability and
+// a crash between the two pwrites is detectable (trailer CRC mismatch).
+func (f *File) Write(block uint64, data []byte, ver uint64) error {
+	if block >= f.capacity {
+		return fmt.Errorf("blockstore: block %d beyond capacity %d", block, f.capacity)
+	}
+	if len(data) > BlockSize {
+		return fmt.Errorf("blockstore: write of %d bytes exceeds block size", len(data))
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, data)
+	crc := crc32.Checksum(buf, castagnoli)
+	if _, err := f.data.WriteAt(buf, DataOffset(block)); err != nil {
+		return fmt.Errorf("blockstore: write block %d: %w", block, err)
+	}
+	rec := make([]byte, trailerSize)
+	binary.LittleEndian.PutUint64(rec[0:], ver)
+	binary.LittleEndian.PutUint32(rec[8:], crc)
+	binary.LittleEndian.PutUint32(rec[12:], flagWritten)
+	binary.LittleEndian.PutUint32(rec[16:], crc32.Checksum(rec[:16], castagnoli))
+	if _, err := f.meta.WriteAt(rec, superSize+int64(block)*trailerSize); err != nil {
+		return fmt.Errorf("blockstore: trailer %d: %w", block, err)
+	}
+	if err := f.sync(f.data); err != nil {
+		return err
+	}
+	if err := f.sync(f.meta); err != nil {
+		return err
+	}
+	f.index[block] = blockState{ver: ver, crc: crc}
+	return nil
+}
+
+// SetFence appends one journal record and fsyncs it before returning:
+// the FenceRes the disk then sends is backed by stable storage.
+func (f *File) SetFence(target msg.NodeID, on bool) error {
+	rec := fenceRecord(target, on)
+	if _, err := f.fence.WriteAt(rec, f.walSize); err != nil {
+		return fmt.Errorf("blockstore: fence journal: %w", err)
+	}
+	if err := f.sync(f.fence); err != nil {
+		return err
+	}
+	f.walSize += fenceRecLen
+	if f.journalRec != nil {
+		f.journalRec.Inc()
+	}
+	if on {
+		f.fenced[target] = true
+	} else {
+		delete(f.fenced, target)
+	}
+	return nil
+}
+
+// Fenced reports whether target is fenced.
+func (f *File) Fenced(target msg.NodeID) bool { return f.fenced[target] }
+
+// Recovery reports the open-time recovery pass.
+func (f *File) Recovery() RecoveryReport { return f.recovery }
+
+// Capacity returns the store's size in blocks (from the superblock).
+func (f *File) Capacity() uint64 { return f.capacity }
+
+// Close closes the backing files.
+func (f *File) Close() error {
+	var first error
+	for _, file := range []*os.File{f.data, f.meta, f.fence} {
+		if file == nil {
+			continue
+		}
+		if err := file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ Media = (*File)(nil)

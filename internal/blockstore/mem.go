@@ -1,0 +1,63 @@
+package blockstore
+
+import "repro/internal/msg"
+
+// Mem is the in-memory media the simulator (and any test that does not
+// care about durability) runs on. Its semantics are exactly the maps the
+// disk used to hold inline: unwritten blocks read as absent, writes are
+// zero-padded copies, and nothing survives the process. Determinism of
+// the simulation is untouched — Mem performs no I/O and allocates the
+// same way the old code did.
+type Mem struct {
+	data   map[uint64][]byte
+	vers   map[uint64]uint64
+	fenced map[msg.NodeID]bool
+}
+
+// NewMem returns an empty in-memory media.
+func NewMem() *Mem {
+	return &Mem{
+		data:   make(map[uint64][]byte),
+		vers:   make(map[uint64]uint64),
+		fenced: make(map[msg.NodeID]bool),
+	}
+}
+
+// Read returns a copy of the block, or ok=false if never written.
+func (m *Mem) Read(block uint64) (data []byte, ver uint64, ok bool, err error) {
+	b, ok := m.data[block]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	return append([]byte(nil), b...), m.vers[block], true, nil
+}
+
+// Write stores a zero-padded copy of the block.
+func (m *Mem) Write(block uint64, data []byte, ver uint64) error {
+	buf := make([]byte, BlockSize)
+	copy(buf, data)
+	m.data[block] = buf
+	m.vers[block] = ver
+	return nil
+}
+
+// SetFence updates the fence table.
+func (m *Mem) SetFence(target msg.NodeID, on bool) error {
+	if on {
+		m.fenced[target] = true
+	} else {
+		delete(m.fenced, target)
+	}
+	return nil
+}
+
+// Fenced reports whether target is fenced.
+func (m *Mem) Fenced(target msg.NodeID) bool { return m.fenced[target] }
+
+// Recovery returns a zero report: memory has nothing to recover.
+func (m *Mem) Recovery() RecoveryReport { return RecoveryReport{} }
+
+// Close is a no-op.
+func (m *Mem) Close() error { return nil }
+
+var _ Media = (*Mem)(nil)

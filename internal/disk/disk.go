@@ -7,16 +7,19 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // BlockSize is the data block size used throughout the installation.
-const BlockSize = 4096
+const BlockSize = blockstore.BlockSize
 
 // Sender transmits a message on the SAN.
 type Sender func(to msg.NodeID, m msg.Message)
@@ -31,6 +34,10 @@ type Observer struct {
 	Served func(disk msg.NodeID, block uint64, ver uint64, reader msg.NodeID)
 	// Rejected fires when a fenced initiator's I/O is refused.
 	Rejected func(disk msg.NodeID, initiator msg.NodeID)
+	// Torn fires when the media reports a torn block: at the open-time
+	// recovery pass, or when a read is refused because the block's
+	// checksum no longer matches its trailer.
+	Torn func(disk msg.NodeID, block uint64)
 }
 
 // Config sizes and times a disk.
@@ -59,15 +66,14 @@ func (l dlock) overlaps(start uint64, count uint32) bool {
 
 // Disk is one SAN block device.
 type Disk struct {
-	id    msg.NodeID
-	cfg   Config
-	clock sim.Clock
-	send  Sender
-	obs   Observer
+	id     msg.NodeID
+	cfg    Config
+	clock  sim.Clock
+	send   Sender
+	obs    Observer
+	media  blockstore.Media
+	tracer *trace.Tracer
 
-	data   map[uint64][]byte
-	vers   map[uint64]uint64
-	fenced map[msg.NodeID]bool
 	dlocks []dlock
 
 	// busyUntil serializes media operations: a single actuator services
@@ -76,29 +82,114 @@ type Disk struct {
 
 	reads, writes, fencedOps *stats.Counter
 	queueWait                *stats.Histogram
+	// mediaErrs counts refused media answers (torn blocks, I/O errors).
+	// It is created lazily so an installation that never hits one —
+	// every simulation — registers exactly the instruments it always
+	// did.
+	reg       *stats.Registry
+	prefix    string
+	mediaErrs *stats.Counter
+}
+
+// Option customizes a disk beyond its Config.
+type Option func(*Disk)
+
+// WithMedia selects the storage the disk serves from (default: a fresh
+// in-memory blockstore.Mem, the simulator's media). A file-backed
+// blockstore.File makes the device durable: acknowledged writes and the
+// fence table survive a crash-restart of the hosting process.
+func WithMedia(m blockstore.Media) Option {
+	return func(d *Disk) {
+		if m != nil {
+			d.media = m
+		}
+	}
+}
+
+// WithTracer attaches a trace bus: media durability events (open-time
+// recovery, torn blocks, refused reads) are emitted as EvDisk events.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(d *Disk) { d.tracer = tr }
 }
 
 // New creates a disk. send transmits replies on the SAN; reg records the
-// disk's operation counters (may be nil).
-func New(id msg.NodeID, cfg Config, clock sim.Clock, send Sender, reg *stats.Registry, obs Observer) *Disk {
+// disk's operation counters (may be nil). If the media carries recovered
+// state (a reopened file-backed store), the recovery outcome is reported
+// through the Observer and the tracer before the disk serves anything.
+func New(id msg.NodeID, cfg Config, clock sim.Clock, send Sender, reg *stats.Registry, obs Observer, opts ...Option) *Disk {
 	if reg == nil {
 		reg = stats.NewRegistry()
 	}
 	prefix := fmt.Sprintf("disk.%v.", id)
-	return &Disk{
+	d := &Disk{
 		id:        id,
 		cfg:       cfg,
 		clock:     clock,
 		send:      send,
 		obs:       obs,
-		data:      make(map[uint64][]byte),
-		vers:      make(map[uint64]uint64),
-		fenced:    make(map[msg.NodeID]bool),
+		media:     blockstore.NewMem(),
 		reads:     reg.Counter(prefix + "reads"),
 		writes:    reg.Counter(prefix + "writes"),
 		fencedOps: reg.Counter(prefix + "rejected"),
 		queueWait: reg.Histogram(prefix + "queue_wait"),
+		reg:       reg,
+		prefix:    prefix,
 	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.reportRecovery()
+	return d
+}
+
+// reportRecovery surfaces the media's open-time recovery pass through
+// the trace bus and the observer: one summary event, one fence-replay
+// event per restored fence, one torn event per damaged block.
+func (d *Disk) reportRecovery() {
+	rep := d.media.Recovery()
+	if !rep.Recovered {
+		return
+	}
+	d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+		Note: fmt.Sprintf("recovered journal=%d fenced=%d verified=%d torn=%d",
+			rep.JournalRecords, len(rep.Fenced), rep.Verified, len(rep.Torn))})
+	for _, target := range rep.Fenced {
+		d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+			Peer: target, Note: "fence-replay"})
+	}
+	for _, block := range rep.Torn {
+		d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+			Block: block, Note: "torn"})
+		if d.obs.Torn != nil {
+			d.obs.Torn(d.id, block)
+		}
+	}
+}
+
+func (d *Disk) trace(e trace.Event) {
+	if d.tracer.Enabled() {
+		d.tracer.Emit(e)
+	}
+}
+
+// mediaFailed accounts and reports one refused media answer and returns
+// the errno the reply should carry.
+func (d *Disk) mediaFailed(block uint64, err error) msg.Errno {
+	if d.mediaErrs == nil {
+		d.mediaErrs = d.reg.Counter(d.prefix + "media_errors")
+	}
+	d.mediaErrs.Inc()
+	if errors.Is(err, blockstore.ErrTorn) {
+		d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+			Block: block, Note: "torn-read"})
+		if d.obs.Torn != nil {
+			d.obs.Torn(d.id, block)
+		}
+		return msg.ErrTorn
+	}
+	d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+		Block: block, Note: "media-error: " + err.Error()})
+	return msg.ErrMedia
 }
 
 // ID returns the disk's node ID.
@@ -149,7 +240,7 @@ func (d *Disk) withService(fn func()) {
 func (d *Disk) read(m *msg.DiskRead) {
 	res := &msg.DiskReadRes{Req: m.Req}
 	switch {
-	case d.fenced[m.Client]:
+	case d.media.Fenced(m.Client):
 		d.fencedOps.Inc()
 		res.Err = msg.ErrFenced
 		if d.obs.Rejected != nil {
@@ -159,13 +250,17 @@ func (d *Disk) read(m *msg.DiskRead) {
 		res.Err = msg.ErrRange
 	default:
 		d.reads.Inc()
-		if b, ok := d.data[m.Block]; ok {
-			res.Data = append([]byte(nil), b...)
-			res.Ver = d.vers[m.Block]
-		} else {
+		data, ver, ok, err := d.media.Read(m.Block)
+		switch {
+		case err != nil:
+			res.Err = d.mediaFailed(m.Block, err)
+		case ok:
+			res.Data = data
+			res.Ver = ver
+		default:
 			res.Data = make([]byte, BlockSize) // unwritten blocks read as zeros
 		}
-		if d.obs.Served != nil {
+		if res.Err == msg.OK && d.obs.Served != nil {
 			d.obs.Served(d.id, m.Block, res.Ver, m.Client)
 		}
 	}
@@ -175,7 +270,7 @@ func (d *Disk) read(m *msg.DiskRead) {
 func (d *Disk) write(m *msg.DiskWrite) {
 	res := &msg.DiskWriteRes{Req: m.Req}
 	switch {
-	case d.fenced[m.Client]:
+	case d.media.Fenced(m.Client):
 		d.fencedOps.Inc()
 		res.Err = msg.ErrFenced
 		if d.obs.Rejected != nil {
@@ -186,38 +281,51 @@ func (d *Disk) write(m *msg.DiskWrite) {
 	case len(m.Data) > BlockSize:
 		res.Err = msg.ErrRange
 	default:
-		d.writes.Inc()
-		buf := make([]byte, BlockSize)
-		copy(buf, m.Data)
-		d.data[m.Block] = buf
-		d.vers[m.Block] = m.Ver
-		if d.obs.Committed != nil {
-			d.obs.Committed(d.id, m.Block, m.Ver, m.Client)
+		// The acknowledgment below is the protocol's durability point:
+		// Media.Write returns only once the block is stable (for the
+		// file-backed store, after the data and trailer are written and
+		// fsynced), so a crash after the ACK cannot lose the write.
+		if err := d.media.Write(m.Block, m.Data, m.Ver); err != nil {
+			res.Err = d.mediaFailed(m.Block, err)
+		} else {
+			d.writes.Inc()
+			if d.obs.Committed != nil {
+				d.obs.Committed(d.id, m.Block, m.Ver, m.Client)
+			}
 		}
 	}
 	d.send(m.Client, res)
 }
 
 func (d *Disk) fence(m *msg.FenceSet) {
-	if m.On {
-		d.fenced[m.Target] = true
-	} else {
-		delete(d.fenced, m.Target)
+	res := &msg.FenceRes{Req: m.Req}
+	// Durable before acknowledged: the file-backed media journals and
+	// fsyncs the fence record before SetFence returns, so a FenceRes
+	// implies the fence survives a disk-controller restart (§2.1).
+	if err := d.media.SetFence(m.Target, m.On); err != nil {
+		res.Err = d.mediaFailed(0, err)
 	}
-	d.send(m.Admin, &msg.FenceRes{Req: m.Req})
+	d.send(m.Admin, res)
 }
 
 // Fenced reports whether an initiator is currently fenced (test hook).
-func (d *Disk) Fenced(id msg.NodeID) bool { return d.fenced[id] }
+func (d *Disk) Fenced(id msg.NodeID) bool { return d.media.Fenced(id) }
+
+// Media returns the storage the disk serves from (test/bootstrap hook).
+func (d *Disk) Media() blockstore.Media { return d.media }
+
+// Close releases the disk's media. The disk must no longer be serving.
+func (d *Disk) Close() error { return d.media.Close() }
 
 // PeekBlock returns a copy of a block's stable contents and version
-// (oracle/test hook; not reachable over the SAN protocol).
+// (oracle/test hook; not reachable over the SAN protocol). Torn or
+// otherwise unreadable blocks report ok=false.
 func (d *Disk) PeekBlock(block uint64) (data []byte, ver uint64, ok bool) {
-	b, ok := d.data[block]
-	if !ok {
+	data, ver, ok, err := d.media.Read(block)
+	if err != nil || !ok {
 		return nil, 0, false
 	}
-	return append([]byte(nil), b...), d.vers[block], true
+	return data, ver, true
 }
 
 // --- GFS-baseline dlocks ----------------------------------------------------
@@ -226,7 +334,7 @@ func (d *Disk) dlockAcquire(m *msg.DLockAcquire) {
 	now := d.clock.Now()
 	d.expireDlocks(now)
 	res := &msg.DLockRes{Req: m.Req}
-	if d.fenced[m.Client] {
+	if d.media.Fenced(m.Client) {
 		res.Err = msg.ErrFenced
 		d.send(m.Client, res)
 		return
@@ -234,8 +342,12 @@ func (d *Disk) dlockAcquire(m *msg.DLockAcquire) {
 	for i := range d.dlocks {
 		l := &d.dlocks[i]
 		if l.overlaps(m.Start, m.Count) {
-			if l.owner == m.Client {
-				// Re-acquire extends the TTL.
+			if l.owner == m.Client && l.start == m.Start && l.count == uint64(m.Count) {
+				// Re-acquire of the identical range extends the TTL. A
+				// merely-overlapping self-owned range must NOT: silently
+				// extending a different lock would leave the requested
+				// range partly unprotected while the client believes it
+				// holds it.
 				l.expires = now.Add(m.TTL)
 				d.send(m.Client, res)
 				return

@@ -267,3 +267,122 @@ func TestServiceQueueSerializes(t *testing.T) {
 		t.Fatalf("burst finished at %v, want %v (serialized)", r.s.Now(), want)
 	}
 }
+
+// TestDlockPartialSelfOverlapRejected is the regression test for the
+// dlock re-acquire bug: any overlapping self-owned range used to count
+// as a re-acquire and extend that lock's TTL, leaving the unlocked part
+// of the requested range unprotected while the client believed it held
+// it. Only the exact (start, count) pair may extend.
+func TestDlockPartialSelfOverlapRejected(t *testing.T) {
+	r := newRig(t, Config{Blocks: 64}, Observer{})
+	acquire := func(req msg.ReqID, client msg.NodeID, start uint64, count uint32) msg.Errno {
+		r.deliver(&msg.DLockAcquire{Client: client, Req: req,
+			Start: start, Count: count, TTL: time.Minute})
+		return r.last().(*msg.DLockRes).Err
+	}
+	if e := acquire(1, 1, 0, 4); e != msg.OK {
+		t.Fatalf("initial acquire: %v", e)
+	}
+	// Identical range: legitimate TTL extension.
+	if e := acquire(2, 1, 0, 4); e != msg.OK {
+		t.Fatalf("identical re-acquire: %v", e)
+	}
+	// Supersets and partial overlaps of a self-owned lock must NOT be
+	// treated as re-acquires: the old code extended (0,4) and reported
+	// success for (0,8), leaving blocks 4..8 unlocked.
+	if e := acquire(3, 1, 0, 8); e != msg.ErrDLockHeld {
+		t.Fatalf("superset self-overlap = %v, want ErrDLockHeld", e)
+	}
+	if e := acquire(4, 1, 2, 4); e != msg.ErrDLockHeld {
+		t.Fatalf("partial self-overlap = %v, want ErrDLockHeld", e)
+	}
+	// A disjoint range is a fresh lock, and other clients still conflict.
+	if e := acquire(5, 1, 4, 4); e != msg.OK {
+		t.Fatalf("disjoint acquire: %v", e)
+	}
+	if e := acquire(6, 2, 0, 4); e != msg.ErrDLockHeld {
+		t.Fatalf("other-client overlap = %v, want ErrDLockHeld", e)
+	}
+}
+
+// serviceRig is a rig with a non-zero ServiceTime that records the
+// simulated time of every reply, for the queueing tests.
+type serviceRig struct {
+	s       *sim.Scheduler
+	d       *Disk
+	replies []msg.Message
+	at      []time.Duration
+}
+
+func newServiceRig(t *testing.T, st time.Duration) *serviceRig {
+	t.Helper()
+	r := &serviceRig{s: sim.NewScheduler(1)}
+	clock := r.s.NewClock(1, 0)
+	epoch := clock.Now()
+	r.d = New(9, Config{Blocks: 64, ServiceTime: st}, clock, func(to msg.NodeID, m msg.Message) {
+		r.replies = append(r.replies, m)
+		r.at = append(r.at, clock.Now().Sub(epoch))
+	}, stats.NewRegistry(), Observer{})
+	return r
+}
+
+// TestServiceQueueFIFO models the single-actuator device: a burst of N
+// writes delivered together is serviced one at a time, FIFO, so reply i
+// lands at exactly (i+1)·ServiceTime.
+func TestServiceQueueFIFO(t *testing.T) {
+	const st = time.Millisecond
+	r := newServiceRig(t, st)
+	const n = 5
+	for i := 0; i < n; i++ {
+		r.d.Deliver(msg.Envelope{From: 1, To: 9, Payload: &msg.DiskWrite{
+			Client: 1, Req: msg.ReqID(i + 1), Block: uint64(i), Data: []byte{byte(i)}}})
+	}
+	r.s.Run()
+	if len(r.replies) != n {
+		t.Fatalf("got %d replies, want %d", len(r.replies), n)
+	}
+	for i, m := range r.replies {
+		res := m.(*msg.DiskWriteRes)
+		if res.Err != msg.OK {
+			t.Fatalf("write %d err = %v", i, res.Err)
+		}
+		if res.Req != msg.ReqID(i+1) {
+			t.Fatalf("reply %d is for req %d: service order is not FIFO", i, res.Req)
+		}
+		if want := time.Duration(i+1) * st; r.at[i] != want {
+			t.Fatalf("reply %d at %v, want %v (N·ServiceTime queueing)", i, r.at[i], want)
+		}
+	}
+}
+
+// TestFenceRejectsQueuedWrites pins down when fencing takes effect: a
+// FenceSet is a control operation that bypasses the service queue, so
+// writes that were already queued when the fence arrived are rejected at
+// execution time — the paper's safety argument does not tolerate a
+// fenced client's write sneaking through because it was enqueued first.
+func TestFenceRejectsQueuedWrites(t *testing.T) {
+	r := newServiceRig(t, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		r.d.Deliver(msg.Envelope{From: 1, To: 9, Payload: &msg.DiskWrite{
+			Client: 1, Req: msg.ReqID(i + 1), Block: uint64(i), Data: []byte("w")}})
+	}
+	// The fence arrives while all three writes are still queued.
+	r.d.Deliver(msg.Envelope{From: 100, To: 9, Payload: &msg.FenceSet{
+		Admin: 100, Req: 9, Target: 1, On: true}})
+	r.s.Run()
+	if len(r.replies) != 4 {
+		t.Fatalf("got %d replies, want 4", len(r.replies))
+	}
+	if res := r.replies[0].(*msg.FenceRes); res.Err != msg.OK {
+		t.Fatalf("fence err = %v", res.Err)
+	}
+	for i := 1; i < 4; i++ {
+		res := r.replies[i].(*msg.DiskWriteRes)
+		if res.Err != msg.ErrFenced {
+			t.Fatalf("queued write %d err = %v, want ErrFenced", res.Req, res.Err)
+		}
+	}
+	if _, _, ok := r.d.PeekBlock(0); ok {
+		t.Fatal("fenced client's queued write reached the media")
+	}
+}

@@ -86,6 +86,8 @@ const (
 	ErrRange     // block address out of range
 	ErrNotHolder // lock operation by a non-holder
 	ErrDLockHeld // GFS-baseline disk lock is held by another initiator
+	ErrMedia     // disk media failure: the stable store could not serve/commit
+	ErrTorn      // disk media detected a torn write (checksum mismatch)
 )
 
 var errnoNames = [...]string{
@@ -102,6 +104,8 @@ var errnoNames = [...]string{
 	ErrRange:     "ErrRange",
 	ErrNotHolder: "ErrNotHolder",
 	ErrDLockHeld: "ErrDLockHeld",
+	ErrMedia:     "ErrMedia",
+	ErrTorn:      "ErrTorn",
 }
 
 func (e Errno) String() string {

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/blockstore"
 	"repro/internal/client"
 	"repro/internal/disk"
 	"repro/internal/faultnet"
@@ -109,6 +110,7 @@ type nodeOptions struct {
 	reg        *stats.Registry
 	ctrlFaults *faultnet.Faults
 	sanFaults  *faultnet.Faults
+	media      blockstore.Media
 }
 
 // Option customizes a node started by StartServerNode, StartClientNode,
@@ -154,6 +156,16 @@ func WithFaults(ctrl, san *faultnet.Faults) Option {
 		o.ctrlFaults = ctrl
 		o.sanFaults = san
 	}
+}
+
+// WithMedia backs a disk node with the given storage (see
+// internal/blockstore). The default is a fresh in-memory store that dies
+// with the process; a file-backed store opened with blockstore.Open
+// makes the node durable — acknowledged writes, version stamps, and the
+// fence table survive a crash-restart from the same directory. Ignored
+// by server and client nodes.
+func WithMedia(m blockstore.Media) Option {
+	return func(o *nodeOptions) { o.media = m }
 }
 
 func buildOptions(opts []Option) nodeOptions {
@@ -257,9 +269,11 @@ func StartDiskNode(spec NodeSpec, cfg disk.Config, opts ...Option) (*DiskNode, e
 	if clock == nil {
 		clock = n.SAN.Clock()
 	}
-	n.Disk = disk.New(spec.ID, cfg, clock, n.SAN.Send, o.reg, disk.Observer{})
+	n.Disk = disk.New(spec.ID, cfg, clock, n.SAN.Send, o.reg, disk.Observer{},
+		disk.WithMedia(o.media), disk.WithTracer(o.tracer))
 	addr, err := n.SAN.Listen(spec.Topo.Disks[spec.ID])
 	if err != nil {
+		n.Disk.Close()
 		return nil, err
 	}
 	n.Addr = addr
@@ -267,10 +281,11 @@ func StartDiskNode(spec NodeSpec, cfg disk.Config, opts ...Option) (*DiskNode, e
 	return n, nil
 }
 
-// Close shuts the node down.
+// Close shuts the node down and releases its media.
 func (n *DiskNode) Close() {
 	n.SAN.Close()
 	n.Exec.Close()
+	n.Disk.Close()
 }
 
 // ClientNode is a live file-system client.

@@ -56,8 +56,14 @@ func (s *Server) handleSANReply(req msg.ReqID, reply msg.Message, errno msg.Errn
 
 // funcRead serves file data through the server (function-ship baseline).
 // I/O is block-aligned: the experiments issue one-block requests, which
-// is all the traditional-architecture comparison needs.
+// is all the traditional-architecture comparison needs. An unaligned
+// offset is rejected rather than truncated — the old Offset/BlockSize
+// arithmetic would silently serve (or overwrite) the wrong bytes.
 func (s *Server) funcRead(client msg.NodeID, id msg.ReqID, m *msg.FuncRead) {
+	if m.Offset%disk.BlockSize != 0 {
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.ErrRange})
+		return
+	}
 	in, errno := s.store.Get(m.Ino)
 	if errno != msg.OK {
 		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: errno})
@@ -94,8 +100,14 @@ func (s *Server) funcRead(client msg.NodeID, id msg.ReqID, m *msg.FuncRead) {
 }
 
 // funcWrite stores file data through the server, extending the file as
-// needed.
+// needed. Unaligned offsets are rejected like funcRead's: block `Offset
+// / BlockSize` is the wrong destination for a straddling write, and the
+// sub-block remainder would be dropped on the floor.
 func (s *Server) funcWrite(client msg.NodeID, id msg.ReqID, m *msg.FuncWrite) {
+	if m.Offset%disk.BlockSize != 0 {
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.ErrRange})
+		return
+	}
 	in, errno := s.store.Get(m.Ino)
 	if errno != msg.OK {
 		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: errno})

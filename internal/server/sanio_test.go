@@ -1,0 +1,59 @@
+package server_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/msg"
+)
+
+// TestFuncIOUnalignedOffsetRejected is the regression test for the
+// function-ship alignment bug: funcRead/funcWrite computed the block as
+// Offset / BlockSize, so an unaligned offset silently served (or
+// overwrote) the containing block's start instead of the requested
+// bytes. Such requests must be refused with ErrRange.
+func TestFuncIOUnalignedOffsetRejected(t *testing.T) {
+	cl := boot(t)
+	h, attr := cl.MustOpen(0, "/unaligned", true, true)
+	if errno := cl.Write(0, h, 0, bytes.Repeat([]byte{0xAB}, cluster.BlockSize)); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	if errno := cl.Sync(0); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	if errno := cl.Close(0, h); errno != msg.OK {
+		t.Fatal(errno)
+	}
+
+	// Unaligned read: the old code would have ACKed block 0's bytes.
+	r := raw(t, cl, &msg.FuncRead{ReqHeader: hdrFor(cl, 11001),
+		Ino: attr.Ino, Offset: 100, Length: 64})
+	if r == nil || r.Status != msg.ACK || r.Err != msg.ErrRange {
+		t.Fatalf("unaligned FuncRead reply = %+v, want ACK/ErrRange", r)
+	}
+
+	// Unaligned write: the old code would have clobbered block 1 with
+	// bytes destined for offset 4196.
+	r = raw(t, cl, &msg.FuncWrite{ReqHeader: hdrFor(cl, 11002),
+		Ino: attr.Ino, Offset: cluster.BlockSize + 100, Data: []byte("stray")})
+	if r == nil || r.Status != msg.ACK || r.Err != msg.ErrRange {
+		t.Fatalf("unaligned FuncWrite reply = %+v, want ACK/ErrRange", r)
+	}
+
+	// Aligned requests still work, and the rejected write left no trace.
+	r = raw(t, cl, &msg.FuncRead{ReqHeader: hdrFor(cl, 11003),
+		Ino: attr.Ino, Offset: 0, Length: 64})
+	if r == nil || r.Err != msg.OK {
+		t.Fatalf("aligned FuncRead reply = %+v", r)
+	}
+	data := r.Body.(msg.FuncReadRes).Data
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xAB}, 64)) {
+		t.Fatalf("aligned FuncRead returned wrong bytes: % x...", data[:8])
+	}
+	r = raw(t, cl, &msg.FuncWrite{ReqHeader: hdrFor(cl, 11004),
+		Ino: attr.Ino, Offset: cluster.BlockSize, Data: []byte("ok")})
+	if r == nil || r.Err != msg.OK {
+		t.Fatalf("aligned FuncWrite reply = %+v", r)
+	}
+}

@@ -89,6 +89,13 @@ const (
 	// EvTransport: a live-transport diagnostic (dial/read failure,
 	// accepted connection); Note holds the detail.
 	EvTransport
+	// EvDisk: a disk-media durability event. Note names the occurrence:
+	// "recovered" (open-time recovery pass, with journal/verified/torn
+	// counts), "fence-replay" (a fence for Peer restored from the
+	// journal), "torn" (Block failed its checksum during recovery),
+	// "torn-read" (a torn Block was asked for and refused), and
+	// "media-error" (an I/O failure answering for Block).
+	EvDisk
 )
 
 var typeNames = [...]string{
@@ -110,6 +117,7 @@ var typeNames = [...]string{
 	EvRejoin:       "rejoin",
 	EvReassert:     "reassert",
 	EvTransport:    "transport",
+	EvDisk:         "disk",
 }
 
 func (t Type) String() string {
@@ -123,6 +131,23 @@ func (t Type) String() string {
 // readable and stable across taxonomy reordering.
 func (t Type) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a type name back to its value, so JSONL streams
+// written by one process (a crashed disk node, a tankd run) can be
+// decoded and asserted on by another.
+func (t *Type) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("trace: event type %s is not a string", b)
+	}
+	name := string(b[1 : len(b)-1])
+	for v, n := range typeNames {
+		if n == name && n != "" {
+			*t = Type(v)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event type %q", name)
 }
 
 // Event is one lease-lifecycle occurrence. Node, Time, and Epoch are the
@@ -148,6 +173,8 @@ type Event struct {
 	Peer msg.NodeID `json:"peer,omitempty"`
 	// Ino is the object, for demand and per-object flush events.
 	Ino msg.ObjectID `json:"ino,omitempty"`
+	// Block is the disk block, for EvDisk media events.
+	Block uint64 `json:"block,omitempty"`
 	// From and To are phase names for EvPhase.
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
@@ -171,6 +198,9 @@ func (e Event) String() string {
 	}
 	if e.Ino != 0 {
 		s += fmt.Sprintf(" %v", e.Ino)
+	}
+	if e.Type == EvDisk && e.Block != 0 {
+		s += fmt.Sprintf(" block=%d", e.Block)
 	}
 	if e.Type == EvPhase {
 		s += fmt.Sprintf(" %s→%s", e.From, e.To)

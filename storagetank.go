@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"repro/internal/baselines"
+	"repro/internal/blockstore"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -90,6 +91,37 @@ func NewCluster(opts Options) *Cluster { return cluster.New(opts) }
 
 // BlockSize is the data block size used throughout (4 KiB).
 const BlockSize = cluster.BlockSize
+
+// Media is the storage a SAN disk serves from: the durable half of the
+// paper's safety argument. The in-memory implementation backs the
+// simulator; the file-backed implementation (OpenFileMedia) persists
+// block data, version stamps, and the fence table across disk-node
+// restarts, detects torn writes by per-block CRC32C trailers, and
+// journals fence operations so they are fsync-durable before they are
+// acknowledged.
+type Media = blockstore.Media
+
+// MediaOptions configures a file-backed media store.
+type MediaOptions = blockstore.Options
+
+// MediaRecovery reports what a file-backed store's open-time recovery
+// pass found (journal records replayed, blocks verified, torn blocks).
+type MediaRecovery = blockstore.RecoveryReport
+
+// ErrTornBlock marks a read refused because the block's checksum does
+// not match its trailer: a write torn by a crash, detected rather than
+// served. Test with errors.Is.
+var ErrTornBlock = blockstore.ErrTorn
+
+// NewMemMedia returns the in-memory media a disk uses by default.
+func NewMemMedia() Media { return blockstore.NewMem() }
+
+// OpenFileMedia creates or recovers a file-backed media store in dir.
+// Pass it to a live disk node with rpcnet.WithMedia (or run tankd with
+// -data-dir). Inspect the recovery pass with Recovery().
+func OpenFileMedia(dir string, opts MediaOptions) (Media, error) {
+	return blockstore.Open(dir, opts)
+}
 
 // WorkloadConfig shapes synthetic client activity.
 type WorkloadConfig = workload.Config
@@ -176,6 +208,7 @@ const (
 	TraceRejoin       = trace.EvRejoin
 	TraceReassert     = trace.EvReassert
 	TraceTransport    = trace.EvTransport
+	TraceDisk         = trace.EvDisk
 )
 
 // TracePred selects events in TraceStream queries.
