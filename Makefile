@@ -20,12 +20,13 @@ race:
 
 # verify is the pre-merge gate: everything must compile, pass vet, and
 # run the full suite (including the live-TCP chaos tests and the
-# kill -9 crash-restart durability harness) race-clean.
+# kill -9 crash-restart durability harness, scalar and vectored)
+# race-clean.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 -run TestCrashRestartDurability ./internal/rpcnet/
+	$(GO) test -race -count=1 -run 'TestCrashRestart' ./internal/rpcnet/
 
 # bench runs every benchmark with allocation stats and renders the
 # results as BENCH_tier1.json (op/s and ns/op per benchmark; see

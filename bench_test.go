@@ -230,6 +230,100 @@ func BenchmarkEndToEndSimSecond(b *testing.B) {
 	}
 }
 
+// --- vectored write-back benchmarks -----------------------------------------
+
+// benchFlushDrain measures a client draining 64 dirty pages to the SAN:
+// how many SAN messages one flush costs and how long the drain takes in
+// simulated time. batch=0 is the default vectored write-back; batch=1
+// restores the legacy per-page path the vectoring replaced.
+func benchFlushDrain(b *testing.B, batch int) {
+	const dirtyPages = 64
+	cl := NewClusterWith(WithoutChecker(), WithFlushBatch(batch))
+	cl.Start()
+	sc := cl.SyncClient(0)
+	h, _, err := sc.Open("/drain", true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, BlockSize)
+	var msgs, drain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < dirtyPages; p++ {
+			if err := sc.WriteAt(h, uint64(p), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		before := cl.Reg.CounterValue("net.san.sent.san-io")
+		start := cl.Sched.Now()
+		if err := sc.SyncAll(); err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(cl.Reg.CounterValue("net.san.sent.san-io") - before)
+		drain += float64(cl.Sched.Now().Sub(start)) / float64(time.Millisecond)
+	}
+	b.ReportMetric(msgs/float64(b.N), "san_msgs/flush")
+	b.ReportMetric(drain/float64(b.N), "sim_drain_ms")
+}
+
+// BenchmarkFlushDrain64Batched — vectored write-back (the default): the
+// 64 dirty pages coalesce into one DiskWriteV per disk per 32-page
+// window, each served under a single disk service slot.
+func BenchmarkFlushDrain64Batched(b *testing.B) { benchFlushDrain(b, 0) }
+
+// BenchmarkFlushDrain64PerPage — the pre-vectoring path (FlushBatch=1):
+// one DiskWrite and one service slot per page.
+func BenchmarkFlushDrain64PerPage(b *testing.B) { benchFlushDrain(b, 1) }
+
+// benchGroupCommit measures the durable half of the same flush: 64
+// blocks written to file-backed media, reporting fsyncs per flush.
+// Vectored batches group-commit (two fsyncs per batch); per-block
+// writes pay two fsyncs each.
+func benchGroupCommit(b *testing.B, batched bool) {
+	const blocks = 64
+	reg := NewStatsRegistry()
+	media, err := OpenFileMedia(b.TempDir(), MediaOptions{
+		Blocks: 1 << 10, Registry: reg, StatsPrefix: "media.",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer media.Close()
+	data := make([]byte, BlockSize)
+	batch := make([]MediaBlockWrite, blocks)
+	var fsyncs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := reg.CounterValue("media.fsyncs")
+		ver := uint64(i + 1)
+		if batched {
+			for j := range batch {
+				batch[j] = MediaBlockWrite{Block: uint64(j), Data: data, Ver: ver}
+			}
+			for _, err := range media.WriteV(batch) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for j := 0; j < blocks; j++ {
+				if err := media.Write(uint64(j), data, ver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		fsyncs += float64(reg.CounterValue("media.fsyncs") - before)
+	}
+	b.ReportMetric(fsyncs/float64(b.N), "fsyncs/flush")
+}
+
+// BenchmarkGroupCommit64Batched — one WriteV of 64 blocks: stage all,
+// then one data fsync and one metadata fsync for the whole batch.
+func BenchmarkGroupCommit64Batched(b *testing.B) { benchGroupCommit(b, true) }
+
+// BenchmarkGroupCommit64PerBlock — 64 scalar Writes: two fsyncs each.
+func BenchmarkGroupCommit64PerBlock(b *testing.B) { benchGroupCommit(b, false) }
+
 func quickWorkload() WorkloadConfig {
 	cfg := DefaultWorkload()
 	cfg.Files = 8

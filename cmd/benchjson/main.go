@@ -6,6 +6,12 @@
 //
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -o BENCH_tier1.json
 //
+// When the stream carries both halves of a batched/per-page benchmark
+// pair (the vectored write-back suite in bench_test.go), the report
+// gains a "derived" section with the headline reduction ratios —
+// SAN messages per flush, fsyncs per flush, and simulated drain time,
+// per-page over batched.
+//
 // Non-benchmark lines (PASS, ok, package headers) pass through to
 // stderr so a terminal run still shows the suite's progress.
 package main
@@ -65,7 +71,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	buf, err := json.MarshalIndent(results, "", "  ")
+	report := Report{Results: results, Derived: derive(results)}
+	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -80,6 +87,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// Report is the full JSON document: the parsed benchmark records plus
+// any cross-benchmark ratios derivable from them.
+type Report struct {
+	Results []Result           `json:"results"`
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// derive computes the vectored write-back reduction ratios when both
+// halves of a pair are present: how much cheaper a 64-dirty-page flush
+// is batched than per-page, in SAN messages, fsyncs, and drain time.
+func derive(results []Result) map[string]float64 {
+	metric := func(bench, unit string) (float64, bool) {
+		for _, r := range results {
+			if strings.HasPrefix(r.Name, bench) {
+				v, ok := r.Metrics[unit]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	out := map[string]float64{}
+	ratio := func(key, perPage, batched, unit string) {
+		p, okP := metric(perPage, unit)
+		b, okB := metric(batched, unit)
+		if okP && okB && b > 0 {
+			out[key] = p / b
+			out[key+".batched"] = b
+			out[key+".per_page"] = p
+		}
+	}
+	ratio("flush64.san_msgs_reduction",
+		"BenchmarkFlushDrain64PerPage", "BenchmarkFlushDrain64Batched", "san_msgs/flush")
+	ratio("flush64.drain_time_reduction",
+		"BenchmarkFlushDrain64PerPage", "BenchmarkFlushDrain64Batched", "sim_drain_ms")
+	ratio("flush64.fsync_reduction",
+		"BenchmarkGroupCommit64PerBlock", "BenchmarkGroupCommit64Batched", "fsyncs/flush")
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // parseBenchLine parses one "BenchmarkName-8  1234  987 ns/op  0 B/op ..."

@@ -17,10 +17,10 @@ import (
 )
 
 func main() {
-	opts := storagetank.DefaultOptions()
-	cl := storagetank.NewCluster(opts)
+	cl := storagetank.NewClusterWith()
 	cl.Start()
-	tau := opts.Core.Tau
+	cfg := storagetank.Resolve().Cluster.Core
+	tau := cfg.Tau
 	c0 := cl.Clients[0]
 
 	var isoAt = func() time.Duration { return time.Duration(cl.Sched.Now()) }
@@ -34,7 +34,7 @@ func main() {
 	}
 
 	fmt.Printf("τ=%v, phases at %.2f/%.2f/%.2fτ, steal at τ(1+ε)=%v\n\n",
-		tau, opts.Core.P1End, opts.Core.P2End, opts.Core.P3End, opts.Core.StealDelay())
+		tau, cfg.P1End, cfg.P2End, cfg.P3End, cfg.StealDelay())
 
 	h0, _ := cl.MustOpen(0, "/journal", true, true)
 	cl.Write(0, h0, 0, make([]byte, storagetank.BlockSize))

@@ -30,11 +30,9 @@ func main() {
 }
 
 func runScenario(pol storagetank.Policy) {
-	opts := storagetank.DefaultOptions()
-	opts.Policy = pol
-	cl := storagetank.NewCluster(opts)
+	cl := storagetank.NewClusterWith(storagetank.WithPolicy(pol))
 	cl.Start()
-	tau := opts.Core.Tau
+	tau := storagetank.Resolve().Cluster.Core.Tau
 
 	// C1 (client 0): committed data on block 0, dirty data on block 1.
 	h0, _ := cl.MustOpen(0, "/shared", true, true)

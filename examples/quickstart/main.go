@@ -11,25 +11,34 @@ import (
 	"time"
 
 	storagetank "repro"
-	"repro/internal/msg"
 )
 
 func main() {
 	// A 3-client, 2-disk installation of the paper's Figure 1: clients
 	// and server on the control network, clients and disks on the SAN,
-	// per-node clocks drifting within the rate bound ε.
-	opts := storagetank.DefaultOptions()
-	cl := storagetank.NewCluster(opts)
+	// per-node clocks drifting within the rate bound ε. The zero-option
+	// call uses the defaults; add storagetank.With* options to change
+	// seeds, sizes, policy, or protocol parameters.
+	cl := storagetank.NewClusterWith()
 	cl.Start()
+	cfg := storagetank.Resolve().Cluster.Core
 	fmt.Printf("installation up: %d clients, %d disks, τ=%v, ε=%g\n\n",
-		len(cl.Clients), len(cl.Disks), opts.Core.Tau, opts.Core.Bound.Eps)
+		len(cl.Clients), len(cl.Disks), cfg.Tau, cfg.Bound.Eps)
+
+	// Each client's SyncClient wraps the event-driven protocol client in
+	// plain blocking calls; underneath, every call pumps the simulator.
+	c0 := cl.SyncClient(0)
+	c1 := cl.SyncClient(1)
 
 	// Client 0 creates and writes a file. The write is WRITE-BACK: it
 	// completes into the client cache under an exclusive data lock.
-	h0, _ := cl.MustOpen(0, "/hello.txt", true, true)
+	h0, _, err := c0.Open("/hello.txt", true, true)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
 	payload := []byte("hello, network attached storage")
-	if errno := cl.Write(0, h0, 0, payload); errno != msg.OK {
-		log.Fatalf("write: %v", errno)
+	if err := c0.WriteAt(h0, 0, payload); err != nil {
+		log.Fatalf("write: %v", err)
 	}
 	fmt.Printf("client 0 wrote %d bytes (dirty pages in cache: %d)\n",
 		len(payload), cl.Clients[0].Cache().TotalDirty())
@@ -37,10 +46,13 @@ func main() {
 	// Client 1 reads the same file. The server demands client 0's
 	// exclusive lock down to shared; client 0 flushes its dirty page to
 	// the SAN first, so client 1 reads the newest data from the disk.
-	h1, _ := cl.MustOpen(1, "/hello.txt", false, false)
-	data, errno := cl.Read(1, h1, 0)
-	if errno != msg.OK {
-		log.Fatalf("read: %v", errno)
+	h1, _, err := c1.Open("/hello.txt", false, false)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	data, err := c1.ReadAt(h1, 0)
+	if err != nil {
+		log.Fatalf("read: %v", err)
 	}
 	fmt.Printf("client 1 read:  %q\n", data[:len(payload)])
 	fmt.Printf("client 0 dirty pages after the demand: %d\n\n", cl.Clients[0].Cache().TotalDirty())

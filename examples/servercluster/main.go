@@ -11,26 +11,24 @@ import (
 	"fmt"
 	"time"
 
+	storagetank "repro"
 	"repro/internal/msg"
-	"repro/internal/multiserver"
 )
 
-const blockSize = 4096
-
 func main() {
-	opts := multiserver.DefaultOptions()
-	opts.Servers = 3
-	inst := multiserver.New(opts)
+	const servers = 3
+	inst := storagetank.NewMultiServerWith(storagetank.WithServers(servers))
 	inst.Start()
+	tau := storagetank.Resolve().Multi.Core.Tau
 	fmt.Printf("cluster up: %d servers, namespace shards /s0 /s1 /s2, τ=%v\n\n",
-		opts.Servers, opts.Core.Tau)
+		servers, tau)
 
 	// Node 0 works across all three shards.
-	handles := make([]msg.Handle, opts.Servers)
+	handles := make([]msg.Handle, servers)
 	for i := range handles {
 		path := fmt.Sprintf("/s%d/data", i)
 		handles[i] = inst.MustOpen(0, path, true, true)
-		inst.Write(0, handles[i], 0, make([]byte, blockSize))
+		inst.Write(0, handles[i], 0, make([]byte, storagetank.BlockSize))
 		fmt.Printf("node 0 holds an exclusive lock on %s (lease with server %d)\n", path, i+1)
 	}
 
@@ -44,12 +42,12 @@ func main() {
 
 	fmt.Println("\nwrites during the partition:")
 	for i := range handles {
-		errno := inst.Write(0, handles[i], 1, make([]byte, blockSize))
+		errno := inst.Write(0, handles[i], 1, make([]byte, storagetank.BlockSize))
 		fmt.Printf("  shard /s%d: %v\n", i, errno)
 	}
 
 	inst.HealAll()
-	inst.RunFor(2 * opts.Core.Tau)
+	inst.RunFor(2 * tau)
 	inst.Sync(0)
 	fmt.Printf("\nafter heal: phases %v, violations across all shards: %d\n",
 		inst.LeasePhases(0), len(inst.FinalCheck()))

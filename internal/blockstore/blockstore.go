@@ -58,6 +58,15 @@ type Media interface {
 	// writes are zero-padded) with its version stamp. The caller must
 	// not acknowledge the write until Write returns nil.
 	Write(block uint64, data []byte, ver uint64) error
+	// WriteV durably stores a batch of blocks and returns one result per
+	// entry (nil = committed). The durability contract is the batch
+	// analogue of Write's: when WriteV returns, every entry whose result
+	// is nil is stable — the file-backed media writes all data and
+	// trailers first and then issues a SINGLE group-commit fsync, so a
+	// batch costs one stabilization instead of one per block. Entries
+	// that fail individually (bad length, media error) do not prevent
+	// the rest of the batch from committing.
+	WriteV(batch []BlockWrite) []error
 	// SetFence durably updates the fence table. The caller must not
 	// acknowledge the fence operation until SetFence returns nil.
 	SetFence(target msg.NodeID, on bool) error
@@ -69,6 +78,14 @@ type Media interface {
 	// Close releases the media. The store must already be durable at
 	// every acknowledged operation; Close adds nothing to durability.
 	Close() error
+}
+
+// BlockWrite is one element of a vectored write: Write's arguments as a
+// value.
+type BlockWrite struct {
+	Block uint64
+	Data  []byte
+	Ver   uint64
 }
 
 // RecoveryReport describes an open-time recovery pass over existing

@@ -41,6 +41,18 @@ func (m *Mem) Write(block uint64, data []byte, ver uint64) error {
 	return nil
 }
 
+// WriteV stores each block of the batch in order. Memory has no
+// stabilization step to amortize, so the batch is exactly a loop over
+// Write — which is what keeps simulated output byte-identical whether a
+// flush arrives as one vectored message or as per-page writes.
+func (m *Mem) WriteV(batch []BlockWrite) []error {
+	errs := make([]error, len(batch))
+	for i, w := range batch {
+		errs[i] = m.Write(w.Block, w.Data, w.Ver)
+	}
+	return errs
+}
+
 // SetFence updates the fence table.
 func (m *Mem) SetFence(target msg.NodeID, on bool) error {
 	if on {

@@ -53,7 +53,15 @@ type Config struct {
 	// CacheMaxPages bounds the resident data cache; clean pages are
 	// evicted LRU beyond it (0 = unbounded). Dirty pages are pinned.
 	CacheMaxPages int
+	// FlushBatch bounds how many dirty pages one vectored SAN write may
+	// carry (per target disk). 0 selects DefaultFlushBatch; 1 disables
+	// coalescing and restores the per-page DiskWrite flush path.
+	FlushBatch int
 }
+
+// DefaultFlushBatch is the flush coalescing bound used when
+// Config.FlushBatch is zero.
+const DefaultFlushBatch = 32
 
 func (c Config) withDefaults() Config {
 	if c.HeartbeatTTL == 0 {
@@ -333,6 +341,10 @@ func (c *Client) DeliverSAN(env msg.Envelope) {
 	case *msg.DiskReadRes:
 		c.completeSAN(m.Req, m, m.Err)
 	case *msg.DiskWriteRes:
+		c.completeSAN(m.Req, m, m.Err)
+	case *msg.DiskWriteVRes:
+		c.completeSAN(m.Req, m, m.Err)
+	case *msg.DiskReadVRes:
 		c.completeSAN(m.Req, m, m.Err)
 	case *msg.DLockRes:
 		c.completeSAN(m.Req, m, m.Err)

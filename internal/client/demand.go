@@ -111,77 +111,161 @@ func (c *Client) complyDemand(m *msg.Demand) {
 	})
 }
 
-// flushObject writes every dirty page of ino to the SAN and calls done
-// when the last write is acknowledged. done runs immediately when there
-// is nothing dirty.
-func (c *Client) flushObject(ino msg.ObjectID, done func()) {
+// flushItem is one dirty page snapshotted for write-back: where it goes
+// on the SAN and the version it carried when the flush began.
+type flushItem struct {
+	ino  msg.ObjectID
+	idx  uint64
+	disk msg.NodeID
+	num  uint64
+	ver  uint64
+	data []byte
+}
+
+// collectDirty snapshots ino's dirty pages as flush items. Pages without
+// a block mapping (allocation lost) are skipped; nothing safe to do.
+func (c *Client) collectDirty(ino msg.ObjectID) []flushItem {
 	dirty := c.cache.DirtyPages(ino)
 	o := c.cache.Object(ino)
 	if len(dirty) == 0 || o == nil || !o.HaveMap {
-		if done != nil {
-			done()
-		}
-		return
+		return nil
 	}
-	remaining := 0
-	var finish func()
-	finish = func() {
-		remaining--
-		if remaining == 0 && done != nil {
-			done()
-		}
-	}
+	items := make([]flushItem, 0, len(dirty))
 	for _, idx := range dirty {
 		if idx >= uint64(len(o.Blocks)) {
-			continue // allocation lost; nothing safe to do
+			continue
 		}
 		p := o.Page(idx)
 		if p == nil || !p.Dirty {
 			continue
 		}
-		remaining++
-		idx := idx
 		ref := o.Blocks[idx]
-		ver := p.Ver
-		data := append([]byte(nil), p.Data...)
-		c.sanCall(ref.Disk, func(req msg.ReqID) msg.Message {
-			return &msg.DiskWrite{Client: c.id, Req: req, Block: ref.Num, Data: data, Ver: ver}
-		}, func(reply msg.Message, errno msg.Errno) {
-			if errno == msg.OK {
-				// Only mark clean if the page was not re-dirtied with a
-				// newer version while the write was in flight.
-				if cur := c.cache.Object(ino); cur != nil {
-					if pg := cur.Page(idx); pg != nil && pg.Ver == ver {
-						c.cache.MarkClean(ino, idx)
-					}
-				}
-				c.oracle.Committed(c.id, ino, idx, ver)
-			}
-			finish()
+		items = append(items, flushItem{
+			ino: ino, idx: idx, disk: ref.Disk, num: ref.Num,
+			ver: p.Ver, data: append([]byte(nil), p.Data...),
 		})
 	}
-	if remaining == 0 && done != nil {
-		done()
-	}
+	return items
 }
 
-// flushAll flushes every dirty object; done fires when all writes are
-// acknowledged (or immediately when the cache is clean).
-func (c *Client) flushAll(done func()) {
-	objs := c.cache.DirtyObjects()
-	if len(objs) == 0 {
+// flushBatchLimit returns the coalescing bound: how many dirty pages one
+// SAN message may carry. FlushBatch=0 selects the default; 1 disables
+// vectoring (the legacy per-page write path).
+func (c *Client) flushBatchLimit() int {
+	if c.cfg.FlushBatch == 0 {
+		return DefaultFlushBatch
+	}
+	if c.cfg.FlushBatch < 1 {
+		return 1
+	}
+	return c.cfg.FlushBatch
+}
+
+// flushCommitted handles one page's write acknowledgment: mark it clean
+// (only if it was not re-dirtied with a newer version while the write was
+// in flight) and tell the oracle the version reached stable storage.
+func (c *Client) flushCommitted(it flushItem) {
+	if cur := c.cache.Object(it.ino); cur != nil {
+		if pg := cur.Page(it.idx); pg != nil && pg.Ver == it.ver {
+			c.cache.MarkClean(it.ino, it.idx)
+		}
+	}
+	c.oracle.Committed(c.id, it.ino, it.idx, it.ver)
+}
+
+// flushItems writes the items back, coalescing per target disk into
+// vectored batches of at most flushBatchLimit pages; done fires when the
+// last batch is acknowledged. A single-page batch goes out as a scalar
+// DiskWrite — identical to the pre-vectoring wire traffic — so flushes
+// of one dirty page (the common case outside burst flushes) are
+// unchanged. Per-block failures inside a batch leave those pages dirty
+// for the next flush, exactly as a failed scalar write would.
+func (c *Client) flushItems(items []flushItem, done func()) {
+	if len(items) == 0 {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	remaining := len(objs)
-	for _, ino := range objs {
-		c.flushObject(ino, func() {
-			remaining--
-			if remaining == 0 && done != nil {
-				done()
-			}
-		})
+	limit := c.flushBatchLimit()
+	byDisk := make(map[msg.NodeID][]flushItem)
+	var order []msg.NodeID
+	for _, it := range items {
+		if _, ok := byDisk[it.disk]; !ok {
+			order = append(order, it.disk)
+		}
+		byDisk[it.disk] = append(byDisk[it.disk], it)
 	}
+	remaining := 0
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	for _, d := range order {
+		queue := byDisk[d]
+		for len(queue) > 0 {
+			n := limit
+			if n > len(queue) {
+				n = len(queue)
+			}
+			chunk := queue[:n]
+			queue = queue[n:]
+			remaining++
+			if len(chunk) == 1 {
+				it := chunk[0]
+				c.sanCall(d, func(req msg.ReqID) msg.Message {
+					return &msg.DiskWrite{Client: c.id, Req: req, Block: it.num, Data: it.data, Ver: it.ver}
+				}, func(reply msg.Message, errno msg.Errno) {
+					if errno == msg.OK {
+						c.flushCommitted(it)
+					}
+					finish()
+				})
+				continue
+			}
+			chunk = append([]flushItem(nil), chunk...)
+			vecs := make([]msg.BlockVec, len(chunk))
+			payload := make([]byte, len(chunk)*BlockSize)
+			for i, it := range chunk {
+				vecs[i] = msg.BlockVec{Block: it.num, Ver: it.ver}
+				copy(payload[i*BlockSize:(i+1)*BlockSize], it.data)
+			}
+			c.sanCall(d, func(req msg.ReqID) msg.Message {
+				return &msg.DiskWriteV{Client: c.id, Req: req, Blocks: vecs, Data: payload}
+			}, func(reply msg.Message, errno msg.Errno) {
+				res, _ := reply.(*msg.DiskWriteVRes)
+				for i, it := range chunk {
+					ok := errno == msg.OK
+					if res != nil && i < len(res.Errs) {
+						ok = res.Errs[i] == msg.OK
+					}
+					if ok {
+						c.flushCommitted(it)
+					}
+				}
+				finish()
+			})
+		}
+	}
+}
+
+// flushObject writes every dirty page of ino to the SAN and calls done
+// when the last write is acknowledged. done runs immediately when there
+// is nothing dirty.
+func (c *Client) flushObject(ino msg.ObjectID, done func()) {
+	c.flushItems(c.collectDirty(ino), done)
+}
+
+// flushAll flushes every dirty object; done fires when all writes are
+// acknowledged (or immediately when the cache is clean). Dirty pages of
+// DIFFERENT objects that live on the same disk coalesce into the same
+// batches — the scatter-gather message addresses blocks, not files.
+func (c *Client) flushAll(done func()) {
+	var items []flushItem
+	for _, ino := range c.cache.DirtyObjects() {
+		items = append(items, c.collectDirty(ino)...)
+	}
+	c.flushItems(items, done)
 }

@@ -62,6 +62,9 @@ type Options struct {
 	GracePeriod time.Duration
 	// CacheMaxPages bounds each client's resident cache (0 = unbounded).
 	CacheMaxPages int
+	// FlushBatch bounds how many dirty pages one vectored SAN write may
+	// carry (0 = client default; 1 = legacy per-page write-back).
+	FlushBatch int
 	// ClientRates pins explicit clock rates per client (overrides
 	// ClockSkew for those indices); ServerRate pins the server's.
 	ClientRates []float64
@@ -148,7 +151,7 @@ func New(opts Options) *Cluster {
 		d := disk.New(id, disk.Config{Blocks: opts.DiskBlocks, ServiceTime: opts.DiskService},
 			s.NewClock(1, 0),
 			func(to msg.NodeID, m msg.Message) { cl.SAN.Send(id, to, m) },
-			reg, obs)
+			reg, obs, disk.WithTracer(opts.Tracer))
 		cl.Disks = append(cl.Disks, d)
 		cl.SAN.Attach(id, d.Deliver)
 		diskMap[id] = opts.DiskBlocks
@@ -181,7 +184,7 @@ func New(opts Options) *Cluster {
 		ccfg := client.Config{
 			Core: opts.Core, Policy: opts.Policy,
 			FlushInterval: opts.FlushInterval, DisableReassert: opts.DisableReassert,
-			CacheMaxPages: opts.CacheMaxPages,
+			CacheMaxPages: opts.CacheMaxPages, FlushBatch: opts.FlushBatch,
 		}
 		clientClock := newClock()
 		if i < len(opts.ClientRates) && opts.ClientRates[i] > 0 {
@@ -257,6 +260,15 @@ func (cl *Cluster) Await(maxSim time.Duration, start func(done func())) bool {
 
 // RunFor advances the installation by d of simulated time.
 func (cl *Cluster) RunFor(d time.Duration) { cl.Sched.RunFor(d) }
+
+// SyncClient returns a blocking wrapper over client i, pumped by the
+// simulator: each call advances the scheduler until the operation
+// completes (at most a simulated minute).
+func (cl *Cluster) SyncClient(i int) *client.SyncClient {
+	return client.NewSync(cl.Clients[i], func(start func(done func())) bool {
+		return cl.Await(time.Minute, start)
+	})
+}
 
 // --- Synchronous convenience wrappers (tests, examples, experiments) --------
 

@@ -89,6 +89,10 @@ type Disk struct {
 	reg       *stats.Registry
 	prefix    string
 	mediaErrs *stats.Counter
+	// batchOps/batchBlocks count vectored operations and the blocks they
+	// carried (lazy, like mediaErrs): blocks/ops is the mean batch size.
+	batchOps    *stats.Counter
+	batchBlocks *stats.Counter
 }
 
 // Option customizes a disk beyond its Config.
@@ -205,6 +209,12 @@ func (d *Disk) Deliver(env msg.Envelope) {
 		d.withService(func() { d.read(m) })
 	case *msg.DiskWrite:
 		d.withService(func() { d.write(m) })
+	case *msg.DiskReadV:
+		// A vectored batch occupies ONE service slot: the actuator pays one
+		// seek for the whole transfer, which is the point of scatter-gather.
+		d.withService(func() { d.readV(m) })
+	case *msg.DiskWriteV:
+		d.withService(func() { d.writeV(m) })
 	case *msg.FenceSet:
 		// Fencing is a control operation: no media access, no service time.
 		d.fence(m)
@@ -294,6 +304,137 @@ func (d *Disk) write(m *msg.DiskWrite) {
 			}
 		}
 	}
+	d.send(m.Client, res)
+}
+
+// batchAccount records one vectored operation of n blocks and emits its
+// EvDisk trace. The counters are created lazily (like mediaErrs) so an
+// installation that never sends a batch registers exactly the instruments
+// it always did.
+func (d *Disk) batchAccount(op string, n int) {
+	if d.batchOps == nil {
+		d.batchOps = d.reg.Counter(d.prefix + "batched_ops")
+		d.batchBlocks = d.reg.Counter(d.prefix + "batched_blocks")
+	}
+	d.batchOps.Inc()
+	d.batchBlocks.Add(uint64(n))
+	d.trace(trace.Event{Type: trace.EvDisk, Node: d.id, Time: d.clock.Now(),
+		Note: fmt.Sprintf("%s n=%d", op, n)})
+}
+
+// writeV executes a vectored write as one device operation: per-block
+// fence/range checks, then a single Media.WriteV whose group commit makes
+// the acknowledgment mean the whole batch is durable. Partial failures
+// degrade to per-block errnos; Err carries the first failure.
+func (d *Disk) writeV(m *msg.DiskWriteV) {
+	n := len(m.Blocks)
+	res := &msg.DiskWriteVRes{Req: m.Req, Errs: make([]msg.Errno, n)}
+	fail := func(e msg.Errno) {
+		res.Err = e
+		for i := range res.Errs {
+			res.Errs[i] = e
+		}
+		d.send(m.Client, res)
+	}
+	if d.media.Fenced(m.Client) {
+		// Fencing is per initiator, not per block: a fenced client's whole
+		// batch is refused in one judgment.
+		d.fencedOps.Inc()
+		if d.obs.Rejected != nil {
+			d.obs.Rejected(d.id, m.Client)
+		}
+		fail(msg.ErrFenced)
+		return
+	}
+	if len(m.Data) != n*BlockSize {
+		fail(msg.ErrRange)
+		return
+	}
+	batch := make([]blockstore.BlockWrite, 0, n)
+	pos := make([]int, 0, n) // batch index -> request index
+	for i, bv := range m.Blocks {
+		if bv.Block >= d.cfg.Blocks {
+			res.Errs[i] = msg.ErrRange
+			continue
+		}
+		batch = append(batch, blockstore.BlockWrite{
+			Block: bv.Block,
+			Data:  m.Data[i*BlockSize : (i+1)*BlockSize],
+			Ver:   bv.Ver,
+		})
+		pos = append(pos, i)
+	}
+	for j, err := range d.media.WriteV(batch) {
+		i := pos[j]
+		if err != nil {
+			res.Errs[i] = d.mediaFailed(batch[j].Block, err)
+			continue
+		}
+		d.writes.Inc()
+		if d.obs.Committed != nil {
+			d.obs.Committed(d.id, batch[j].Block, batch[j].Ver, m.Client)
+		}
+	}
+	for _, e := range res.Errs {
+		if e != msg.OK {
+			res.Err = e
+			break
+		}
+	}
+	d.batchAccount("writev", n)
+	d.send(m.Client, res)
+}
+
+// readV serves a vectored read as one device operation. Blocks[i] lands
+// in Data[i·BlockSize:(i+1)·BlockSize]; unwritten blocks read as zeros,
+// per-block failures as errnos with a zero payload slot.
+func (d *Disk) readV(m *msg.DiskReadV) {
+	n := len(m.Blocks)
+	res := &msg.DiskReadVRes{
+		Req:  m.Req,
+		Errs: make([]msg.Errno, n),
+		Vers: make([]uint64, n),
+		Data: make([]byte, n*BlockSize),
+	}
+	if d.media.Fenced(m.Client) {
+		d.fencedOps.Inc()
+		if d.obs.Rejected != nil {
+			d.obs.Rejected(d.id, m.Client)
+		}
+		res.Err = msg.ErrFenced
+		res.Data = nil
+		for i := range res.Errs {
+			res.Errs[i] = msg.ErrFenced
+		}
+		d.send(m.Client, res)
+		return
+	}
+	for i, block := range m.Blocks {
+		if block >= d.cfg.Blocks {
+			res.Errs[i] = msg.ErrRange
+			continue
+		}
+		d.reads.Inc()
+		data, ver, ok, err := d.media.Read(block)
+		if err != nil {
+			res.Errs[i] = d.mediaFailed(block, err)
+			continue
+		}
+		if ok {
+			copy(res.Data[i*BlockSize:(i+1)*BlockSize], data)
+			res.Vers[i] = ver
+		}
+		if d.obs.Served != nil {
+			d.obs.Served(d.id, block, res.Vers[i], m.Client)
+		}
+	}
+	for _, e := range res.Errs {
+		if e != msg.OK {
+			res.Err = e
+			break
+		}
+	}
+	d.batchAccount("readv", n)
 	d.send(m.Client, res)
 }
 

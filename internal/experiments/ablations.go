@@ -45,7 +45,7 @@ func RunA1(p Params) *Result {
 		key := fmt.Sprintf("p3=%.2f", v.p3)
 		res.Metric("dirty_at_expiry."+key, float64(dirtyExpiry))
 	}
-	res.Table.AddNote("isolated client with 48 dirty pages; one disk, 10ms service (FIFO queue); margin = expiry − flush completion")
+	res.Table.AddNote("isolated client with 48 dirty pages; one disk, 10ms service (FIFO queue); per-page write-back (FlushBatch=1); margin = expiry − flush completion")
 	return res
 }
 
@@ -55,6 +55,12 @@ func phaseAblation(p Params, p1, p2, p3 float64) (keepalives uint64, dirtyAtFlus
 	opts.Disks = 1 // a single queuing device: flush time scales with dirty pages
 	opts.Core.P1End, opts.Core.P2End, opts.Core.P3End = p1, p2, p3
 	opts.DiskService = 10 * time.Millisecond
+	// Per-page write-back: this ablation measures how the flush WINDOW
+	// sizes against a drain time that scales with dirty pages. Vectored
+	// write-back (the default) collapses the drain to one batched service
+	// slot, which is exactly the fix for a thin window — but it is studied
+	// separately; here it would flatten the effect under test.
+	opts.FlushBatch = 1
 	cl := cluster.New(opts)
 	cl.Start()
 	tau := opts.Core.Tau
@@ -185,9 +191,35 @@ func retryAblation(p Params, retries int, interval time.Duration) (falseSuspicio
 			cl.RunFor(2 * tau)
 		}
 	}
-	h0, _ = cl.MustOpen(0, "/pingpong", true, false)
-	h1, _ = cl.MustOpen(1, "/pingpong", true, false)
-	mustOK(cl.Write(0, h0, 0, blockData('v')))
+	// The reopen can still catch a client mid lease recovery (no longer
+	// suspect at the server, lease not yet re-established locally), so
+	// tolerate transient refusals the same way.
+	reopen := func(who int) msg.Handle {
+		for tries := 0; ; tries++ {
+			h, _, errno := cl.Open(who, "/pingpong", true, false)
+			if errno == msg.OK {
+				return h
+			}
+			if tries > 5 {
+				panic(fmt.Sprintf("a2: reopen on client %d: %v", who, errno))
+			}
+			cl.RunFor(2 * tau)
+		}
+	}
+	h0 = reopen(0)
+	h1 = reopen(1)
+	// The victim's write can be refused the same way (a recovery between
+	// the reopen and the write invalidates the handle); re-establish and
+	// retry until it holds the lock with committed data.
+	for tries := 0; ; tries++ {
+		if errno := cl.Write(0, h0, 0, blockData('v')); errno == msg.OK {
+			break
+		} else if tries > 5 {
+			panic(fmt.Sprintf("a2: victim write never committed: %v", errno))
+		}
+		cl.RunFor(2 * tau)
+		h0 = reopen(0)
+	}
 	cl.IsolateClient(0)
 	isoAt := cl.Sched.Now()
 	// Client 1 provokes a demand to the isolated holder.

@@ -22,6 +22,7 @@ func RegisterGob() {
 		&Demand{}, &DemandAck{},
 		// SAN.
 		&DiskRead{}, &DiskReadRes{}, &DiskWrite{}, &DiskWriteRes{},
+		&DiskWriteV{}, &DiskWriteVRes{}, &DiskReadV{}, &DiskReadVRes{},
 		&FenceSet{}, &FenceRes{}, &DLockAcquire{}, &DLockRelease{},
 		&DLockRes{},
 	} {

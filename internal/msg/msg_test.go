@@ -92,6 +92,12 @@ func TestGobRoundTripEnvelope(t *testing.T) {
 		&Reply{Client: 3, Req: 10, Status: NACK},
 		&Demand{ID: 5, Ino: 42, Mode: LockShared, Server: 1},
 		&DiskWrite{Client: 3, Req: 11, Block: 100, Data: []byte("hello"), Ver: 9},
+		&DiskWriteV{Client: 3, Req: 13, Blocks: []BlockVec{{Block: 4, Ver: 1}},
+			Data: make([]byte, 4096)},
+		&DiskWriteVRes{Req: 13, Errs: []Errno{OK}},
+		&DiskReadV{Client: 3, Req: 14, Blocks: []uint64{4, 5}},
+		&DiskReadVRes{Req: 14, Errs: []Errno{OK, OK}, Vers: []uint64{1, 2},
+			Data: make([]byte, 8192)},
 		&Reply{Client: 3, Req: 12, Status: ACK, Body: BlocksRes{
 			Attr:   Attr{Ino: 42, Size: 8192, Version: 3, Nlink: 1},
 			Blocks: []BlockRef{{Disk: 9, Num: 0}, {Disk: 9, Num: 1}},
@@ -146,7 +152,8 @@ func TestSizesPositive(t *testing.T) {
 		&Reply{Body: FuncReadRes{Data: make([]byte, 10)}},
 		&Demand{}, &DemandAck{},
 		&DiskRead{}, &DiskReadRes{Data: make([]byte, 4)}, &DiskWrite{},
-		&DiskWriteRes{}, &FenceSet{}, &FenceRes{}, &DLockAcquire{},
+		&DiskWriteRes{}, &DiskWriteV{Blocks: []BlockVec{{}}}, &DiskWriteVRes{},
+		&DiskReadV{}, &DiskReadVRes{}, &FenceSet{}, &FenceRes{}, &DLockAcquire{},
 		&DLockRelease{}, &DLockRes{},
 	}
 	for _, m := range msgs {

@@ -51,6 +51,72 @@ type DiskWriteRes struct {
 func (*DiskWriteRes) Kind() Kind { return KindSANReply }
 func (*DiskWriteRes) Size() int  { return 9 }
 
+// BlockVec names one block inside a vectored SAN write: where it goes and
+// the oracle version stamp of the data occupying its slot of the shared
+// payload.
+type BlockVec struct {
+	Block uint64
+	Ver   uint64
+}
+
+// DiskWriteV writes a batch of blocks in ONE SAN message: Blocks[i] is
+// stored from the contiguous payload slot Data[i*BlockSize:(i+1)*BlockSize].
+// The disk executes the whole batch under a single service slot and — on
+// durable media — a single group-commit fsync, so the acknowledgment
+// means every block of the batch is stable (ack-implies-batch-durable).
+// Fence and range checks still apply per block; a partial failure
+// degrades to per-block result codes in DiskWriteVRes.
+type DiskWriteV struct {
+	Client NodeID
+	Req    ReqID
+	Blocks []BlockVec
+	// Data is the batch payload: len(Blocks)·BlockSize bytes, each block
+	// zero-padded into its fixed-size slot.
+	Data []byte
+}
+
+func (*DiskWriteV) Kind() Kind  { return KindSANIO }
+func (m *DiskWriteV) Size() int { return 20 + 16*len(m.Blocks) + len(m.Data) }
+
+// DiskWriteVRes acknowledges a vectored write. Err is OK only when every
+// block committed; otherwise it carries the first failure and Errs holds
+// the per-block outcomes (Errs[i] answers Blocks[i]). An OK response
+// implies the entire batch is durable.
+type DiskWriteVRes struct {
+	Req  ReqID
+	Err  Errno
+	Errs []Errno
+}
+
+func (*DiskWriteVRes) Kind() Kind  { return KindSANReply }
+func (m *DiskWriteVRes) Size() int { return 9 + len(m.Errs) }
+
+// DiskReadV reads a batch of blocks in one SAN message.
+type DiskReadV struct {
+	Client NodeID
+	Req    ReqID
+	Blocks []uint64
+}
+
+func (*DiskReadV) Kind() Kind  { return KindSANIO }
+func (m *DiskReadV) Size() int { return 20 + 8*len(m.Blocks) }
+
+// DiskReadVRes returns the batch contents: Blocks[i] of the request is
+// served at Data[i*BlockSize:(i+1)*BlockSize] with version Vers[i].
+// Per-block failures (torn block, out of range) land in Errs[i]; the
+// corresponding payload slot is zeros. Unwritten blocks read as zeros
+// with Err OK, as in the scalar protocol.
+type DiskReadVRes struct {
+	Req  ReqID
+	Err  Errno
+	Errs []Errno
+	Vers []uint64
+	Data []byte
+}
+
+func (*DiskReadVRes) Kind() Kind  { return KindSANReply }
+func (m *DiskReadVRes) Size() int { return 9 + len(m.Errs) + 8*len(m.Vers) + len(m.Data) }
+
 // FenceSet instructs a disk to start (On) or stop (off) rejecting all I/O
 // from Target. Only servers send it. Fences persist until explicitly
 // cleared — the device enforces the denial indefinitely (§1.2).

@@ -3,6 +3,7 @@ package rpcnet
 import (
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/blockstore"
 	"repro/internal/client"
@@ -323,6 +324,29 @@ func StartClientNode(spec NodeSpec, cfg client.Config, opts ...Option) (*ClientN
 // the bridge from synchronous callers (CLI, tests) into the event-driven
 // client. fn must arrange its own completion signalling.
 func (n *ClientNode) Do(fn func()) { n.Exec.Submit(fn) }
+
+// Sync returns a blocking wrapper over the node's client: each call
+// starts the operation on the executor (where all client callbacks run)
+// and blocks the calling goroutine until it completes or timeout passes
+// (0 = a default 30s).
+func (n *ClientNode) Sync(timeout time.Duration) *client.SyncClient {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return client.NewSync(n.Client, func(start func(done func())) bool {
+		ch := make(chan struct{})
+		n.Exec.Submit(func() {
+			var once sync.Once
+			start(func() { once.Do(func() { close(ch) }) })
+		})
+		select {
+		case <-ch:
+			return true
+		case <-time.After(timeout):
+			return false
+		}
+	})
+}
 
 // Close shuts the node down.
 func (n *ClientNode) Close() {

@@ -201,49 +201,40 @@ func NewRunner(cl *cluster.Cluster, client int, cfg Config, seed int64) *Runner 
 // Populate creates the shared file population and pre-sizes every file.
 // Call once per cluster, before starting runners.
 func Populate(cl *cluster.Cluster, cfg Config) {
-	if _, _, errno := cl.Open(0, "/pop", false, false); errno == msg.ErrNoEnt {
-		ok := cl.Await(time.Minute, func(done func()) {
-			cl.Clients[0].Create("/pop", true, func(msg.Attr, msg.Errno) { done() })
-		})
-		if !ok {
-			panic("workload: mkdir /pop failed")
+	sc := cl.SyncClient(0)
+	if _, err := sc.Lookup("/pop"); err == msg.ErrNoEnt {
+		if _, err := sc.Create("/pop", true); err != nil {
+			panic(fmt.Sprintf("workload: mkdir /pop: %v", err))
 		}
 	}
 	data := make([]byte, cluster.BlockSize)
 	for i := 0; i < cfg.Files; i++ {
-		h, _ := cl.MustOpen(0, FilePath(i), true, true)
+		h, _, err := sc.Open(FilePath(i), true, true)
+		if err != nil {
+			panic(fmt.Sprintf("workload: populate open: %v", err))
+		}
 		for b := 0; b < cfg.BlocksPerFile; b++ {
-			if errno := cl.Write(0, h, uint64(b), data); errno != msg.OK {
-				panic(fmt.Sprintf("workload: populate write: %v", errno))
+			if err := sc.WriteAt(h, uint64(b), data); err != nil {
+				panic(fmt.Sprintf("workload: populate write: %v", err))
 			}
 		}
-		if errno := cl.Sync(0); errno != msg.OK {
-			panic(fmt.Sprintf("workload: populate sync: %v", errno))
+		if err := sc.SyncAll(); err != nil {
+			panic(fmt.Sprintf("workload: populate sync: %v", err))
 		}
-		if errno := cl.Close(0, h); errno != msg.OK {
-			panic(fmt.Sprintf("workload: populate close: %v", errno))
+		if err := sc.Close(h); err != nil {
+			panic(fmt.Sprintf("workload: populate close: %v", err))
 		}
 	}
 	// Drop the populator's exclusive locks so the measured clients start
 	// symmetric.
 	for i := 0; i < cfg.Files; i++ {
-		idx := i
-		cl.Await(time.Minute, func(done func()) {
-			attr := lookupIno(cl, FilePath(idx))
-			cl.Clients[0].ReleaseLock(attr, func(msg.Errno) { done() })
-		})
+		attr, err := sc.Lookup(FilePath(i))
+		if err != nil {
+			panic(fmt.Sprintf("workload: populate lookup: %v", err))
+		}
+		// A failed release is tolerable (the lock may already be gone).
+		_ = sc.ReleaseLock(attr.Ino)
 	}
-}
-
-func lookupIno(cl *cluster.Cluster, path string) msg.ObjectID {
-	var ino msg.ObjectID
-	cl.Await(time.Minute, func(done func()) {
-		cl.Clients[0].Lookup(path, func(a msg.Attr, e msg.Errno) {
-			ino = a.Ino
-			done()
-		})
-	})
-	return ino
 }
 
 // Start begins generating load. The runner stops at Stop or when the

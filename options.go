@@ -1,0 +1,324 @@
+package storagetank
+
+// This file is the unified construction surface. Historically the repo
+// grew three configuration vocabularies — the cluster.Options struct for
+// simulated installations, rpcnet's functional options for live nodes,
+// and the disk/blockstore option structs underneath both — and a caller
+// wiring a tracer or a media store had to know which of the three each
+// knob belonged to. The With* options below speak all three dialects:
+// each option knows every surface it applies to, so the same
+// []Option configures a simulated Cluster (NewClusterWith), a simulated
+// server-cluster installation (NewMultiServerWith), or a live TCP node
+// (StartServer / StartDisk / StartClient).
+//
+// The struct-based surface (Options, DefaultOptions, NewCluster) remains
+// as a thin shim over the same machinery.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/msg"
+	"repro/internal/rpcnet"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Build is the resolved configuration an []Option produces: the same
+// knobs projected onto every construction surface at once. Options
+// mutate it; the constructors read only the slice relevant to them.
+type Build struct {
+	// Cluster configures a simulated single-server installation
+	// (NewClusterWith).
+	Cluster Options
+	// Multi configures a simulated server-cluster installation
+	// (NewMultiServerWith).
+	Multi MultiServerOptions
+	// Node accumulates live-node functional options (StartServer,
+	// StartDisk, StartClient).
+	Node []rpcnet.Option
+
+	// liveDiskService is the service time a live disk node simulates
+	// (only when set explicitly: real hardware has real latency, so the
+	// simulator's default is not projected onto live nodes).
+	liveDiskService time.Duration
+}
+
+// Option is one knob in the unified configuration vocabulary. Every
+// option documents which surfaces it reaches; options that do not apply
+// to the surface being built are silently inert, so one option list can
+// be shared between a simulation and its live counterpart.
+type Option func(*Build)
+
+// NewBuild returns the default configuration: DefaultOptions for the
+// cluster surface, DefaultMultiServerOptions for the server-cluster
+// surface, and no live-node options.
+func NewBuild() Build {
+	return Build{Cluster: DefaultOptions(), Multi: DefaultMultiServerOptions()}
+}
+
+// Resolve applies opts over the defaults. Constructors call this; it is
+// exported for callers that need the resolved configuration itself
+// (printing τ, sizing a table) without building anything.
+func Resolve(opts ...Option) Build {
+	b := NewBuild()
+	for _, o := range opts {
+		o(&b)
+	}
+	return b
+}
+
+// WithSeed seeds all deterministic randomness (scheduler, clock skew,
+// network jitter). [sim, multi]
+func WithSeed(seed int64) Option {
+	return func(b *Build) {
+		b.Cluster.Seed = seed
+		b.Multi.Seed = seed
+	}
+}
+
+// WithClients sets the number of clients. [sim, multi]
+func WithClients(n int) Option {
+	return func(b *Build) {
+		b.Cluster.Clients = n
+		b.Multi.Clients = n
+	}
+}
+
+// WithDisks sets the number of SAN disks in a single-server
+// installation. [sim]
+func WithDisks(n int) Option {
+	return func(b *Build) { b.Cluster.Disks = n }
+}
+
+// WithServers sets the number of metadata servers in a server-cluster
+// installation. [multi]
+func WithServers(n int) Option {
+	return func(b *Build) { b.Multi.Servers = n }
+}
+
+// WithDisksPerServer sets how many SAN disks each server of a
+// server-cluster installation owns. [multi]
+func WithDisksPerServer(n int) Option {
+	return func(b *Build) { b.Multi.DisksPerServer = n }
+}
+
+// WithDiskBlocks sets each disk's capacity in 4 KiB blocks.
+// [sim, multi, live disk]
+func WithDiskBlocks(n uint64) Option {
+	return func(b *Build) {
+		b.Cluster.DiskBlocks = n
+		b.Multi.DiskBlocks = n
+	}
+}
+
+// WithProtocol sets the lease protocol configuration (τ, ε, phase
+// boundaries, retries). [sim, multi, live server, live client]
+func WithProtocol(cfg Config) Option {
+	return func(b *Build) {
+		b.Cluster.Core = cfg
+		b.Multi.Core = cfg
+	}
+}
+
+// WithPolicy selects the lease/recovery/data-path policy.
+// [sim, live server, live client]
+func WithPolicy(p Policy) Option {
+	return func(b *Build) { b.Cluster.Policy = p }
+}
+
+// WithFlushInterval enables periodic client write-back (0 = off, the
+// default: dirty data then flushes only on demands and phase 4).
+// [sim, live client]
+func WithFlushInterval(d time.Duration) Option {
+	return func(b *Build) { b.Cluster.FlushInterval = d }
+}
+
+// WithFlushBatch bounds how many dirty pages one vectored SAN write may
+// carry per target disk (0 = the client default; 1 = legacy per-page
+// write-back). [sim, live client]
+func WithFlushBatch(n int) Option {
+	return func(b *Build) { b.Cluster.FlushBatch = n }
+}
+
+// WithCacheMaxPages bounds each client's resident cache (0 =
+// unbounded). [sim, live client]
+func WithCacheMaxPages(n int) Option {
+	return func(b *Build) { b.Cluster.CacheMaxPages = n }
+}
+
+// WithClockSkew draws per-node clock rates within the pairwise rate
+// bound ε when on (the default), or pins every clock to rate 1. [sim]
+func WithClockSkew(on bool) Option {
+	return func(b *Build) { b.Cluster.ClockSkew = on }
+}
+
+// WithDiskService sets the per-operation disk latency a disk simulates
+// before replying. A vectored batch pays it once. [sim, live disk]
+func WithDiskService(d time.Duration) Option {
+	return func(b *Build) {
+		b.Cluster.DiskService = d
+		b.liveDiskService = d
+	}
+}
+
+// WithoutChecker disables the consistency oracle (benchmarks measuring
+// raw protocol cost). [sim]
+func WithoutChecker() Option {
+	return func(b *Build) { b.Cluster.NoChecker = true }
+}
+
+// WithGracePeriod overrides a restarted server's lock-reassertion
+// window. [sim]
+func WithGracePeriod(d time.Duration) Option {
+	return func(b *Build) { b.Cluster.GracePeriod = d }
+}
+
+// WithTracer attaches the lease-lifecycle event bus to every node of
+// the installation — phase transitions, renewals, NACKs, steals,
+// demands, flushes, fences, vectored-batch disk commits, and transport
+// drops land in one totally-ordered stream. [sim, multi, live]
+func WithTracer(tr *Tracer) Option {
+	return func(b *Build) {
+		b.Cluster.Tracer = tr
+		b.Multi.Tracer = tr
+		b.Node = append(b.Node, rpcnet.WithTracer(tr))
+	}
+}
+
+// WithMedia backs a live disk node with the given storage (see
+// OpenFileMedia for the durable, crash-recovering implementation).
+// [live disk]
+func WithMedia(m Media) Option {
+	return func(b *Build) { b.Node = append(b.Node, rpcnet.WithMedia(m)) }
+}
+
+// WithFaults installs runtime-mutable fault-injection plans on a live
+// node's transports: ctrl on the control network, san on the SAN
+// (either may be nil for a healthy fabric). [live]
+func WithFaults(ctrl, san *Faults) Option {
+	return func(b *Build) { b.Node = append(b.Node, rpcnet.WithFaults(ctrl, san)) }
+}
+
+// WithRegistry supplies the metrics registry a live node's instruments
+// live in — share one across every node of an in-process installation
+// for a single statistics dump. [live]
+func WithRegistry(reg *StatsRegistry) Option {
+	return func(b *Build) { b.Node = append(b.Node, rpcnet.WithRegistry(reg)) }
+}
+
+// WithLogf installs a printf-style debug logger on a live node's
+// transports. [live]
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(b *Build) { b.Node = append(b.Node, rpcnet.WithLogf(f)) }
+}
+
+// NewClusterWith builds a simulated single-server installation from the
+// unified vocabulary; equivalent to NewCluster over a hand-built
+// Options. Nothing runs until its scheduler does (cl.Start registers
+// the clients).
+func NewClusterWith(opts ...Option) *Cluster {
+	b := Resolve(opts...)
+	return cluster.New(b.Cluster)
+}
+
+// NewMultiServerWith builds a simulated server-cluster installation
+// from the unified vocabulary.
+func NewMultiServerWith(opts ...Option) *MultiServer {
+	b := Resolve(opts...)
+	return NewMultiServer(b.Multi)
+}
+
+// SyncClient is the blocking facade over the event-driven client: plain
+// calls returning error, available both from a simulated cluster
+// (Cluster.SyncClient) and a live client node (ClientNode.Sync).
+type SyncClient = client.SyncClient
+
+// StatsRegistry is the metrics registry nodes record their instruments
+// in (counters, distributions; see Cluster.Reg and ServerNode.Reg).
+type StatsRegistry = stats.Registry
+
+// NewStatsRegistry creates an empty metrics registry.
+func NewStatsRegistry() *StatsRegistry { return stats.NewRegistry() }
+
+// Topology is a live installation's address book: the metadata server's
+// control address and each SAN disk's listen address.
+type Topology = rpcnet.Topology
+
+// NodeSpec identifies one node within a live topology.
+type NodeSpec = rpcnet.NodeSpec
+
+// ServerNode, DiskNode, and ClientNode are the live TCP counterparts of
+// the simulated server, disk, and client.
+type (
+	ServerNode = rpcnet.ServerNode
+	DiskNode   = rpcnet.DiskNode
+	ClientNode = rpcnet.ClientNode
+)
+
+// Loopback returns "127.0.0.1:0" for ephemeral live-node listeners.
+func Loopback() string { return rpcnet.Loopback() }
+
+// StartServer launches a live metadata server for the topology in
+// spec: it listens for clients on Topo.ServerAddr and dials the disks
+// in Topo.Disks. diskCaps lists each disk's capacity in blocks (nil =
+// every disk in the topology at the configured WithDiskBlocks size).
+func StartServer(spec NodeSpec, diskCaps map[NodeID]uint64, opts ...Option) (*ServerNode, error) {
+	b := Resolve(opts...)
+	if diskCaps == nil {
+		diskCaps = make(map[msg.NodeID]uint64, len(spec.Topo.Disks))
+		for id := range spec.Topo.Disks {
+			diskCaps[id] = b.Cluster.DiskBlocks
+		}
+	}
+	cfg := server.Config{Core: b.Cluster.Core, Policy: b.Cluster.Policy, Disks: diskCaps}
+	return rpcnet.StartServerNode(spec, cfg, b.Node...)
+}
+
+// StartDisk launches a live SAN disk node listening on its Topo.Disks
+// address. By default it serves at media speed; WithDiskService adds
+// simulated per-operation latency, and WithMedia makes it durable.
+func StartDisk(spec NodeSpec, opts ...Option) (*DiskNode, error) {
+	b := Resolve(opts...)
+	cfg := disk.Config{Blocks: b.Cluster.DiskBlocks, ServiceTime: b.liveDiskService}
+	return rpcnet.StartDiskNode(spec, cfg, b.Node...)
+}
+
+// StartClient launches a live client node: it dials the topology's
+// server on the control network and the disks on the SAN, registers,
+// and waits for its first lease — the returned node is immediately
+// usable. Use node.Sync(timeout) for the blocking call surface.
+func StartClient(spec NodeSpec, opts ...Option) (*ClientNode, error) {
+	b := Resolve(opts...)
+	cfg := client.Config{
+		Core: b.Cluster.Core, Policy: b.Cluster.Policy,
+		FlushInterval: b.Cluster.FlushInterval,
+		CacheMaxPages: b.Cluster.CacheMaxPages,
+		FlushBatch:    b.Cluster.FlushBatch,
+	}
+	cn, err := rpcnet.StartClientNode(spec, cfg, b.Node...)
+	if err != nil {
+		return nil, err
+	}
+	// Register with the server; the first granted epoch marks the node
+	// ready. The hook is restored before user code can observe it.
+	ready := make(chan struct{})
+	cn.Do(func() {
+		cn.Client.OnRecovered = func(msg.Epoch) {
+			cn.Client.OnRecovered = nil
+			close(ready)
+		}
+		cn.Client.Start()
+	})
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		cn.Close()
+		return nil, fmt.Errorf("storagetank: client %v got no lease from server %v within 30s",
+			spec.ID, spec.Topo.ServerAddr)
+	}
+	return cn, nil
+}

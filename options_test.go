@@ -1,0 +1,164 @@
+package storagetank
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Tests of the unified With* construction vocabulary: the same option
+// list must configure the simulated cluster, the simulated server
+// cluster, and live TCP nodes.
+
+func TestUnifiedOptionsProjectOntoCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tau = 5 * time.Second
+	tr := NewTracer(NewTraceRing(64))
+	b := Resolve(
+		WithSeed(7),
+		WithClients(2),
+		WithDisks(1),
+		WithDiskBlocks(1<<10),
+		WithProtocol(cfg),
+		WithPolicy(Frangipani()),
+		WithFlushInterval(250*time.Millisecond),
+		WithFlushBatch(4),
+		WithCacheMaxPages(16),
+		WithClockSkew(false),
+		WithDiskService(time.Millisecond),
+		WithoutChecker(),
+		WithGracePeriod(2*time.Second),
+		WithTracer(tr),
+	)
+	c := b.Cluster
+	switch {
+	case c.Seed != 7, c.Clients != 2, c.Disks != 1, c.DiskBlocks != 1<<10:
+		t.Fatalf("topology knobs lost: %+v", c)
+	case c.Core.Tau != 5*time.Second:
+		t.Fatalf("protocol config lost: τ=%v", c.Core.Tau)
+	case c.Policy.Name != Frangipani().Name:
+		t.Fatalf("policy lost: %q", c.Policy.Name)
+	case c.FlushInterval != 250*time.Millisecond, c.FlushBatch != 4, c.CacheMaxPages != 16:
+		t.Fatalf("client knobs lost: %+v", c)
+	case c.ClockSkew, !c.NoChecker, c.GracePeriod != 2*time.Second:
+		t.Fatalf("toggles lost: %+v", c)
+	case c.DiskService != time.Millisecond, c.Tracer != tr:
+		t.Fatalf("disk/tracer knobs lost")
+	}
+	// The same options project onto the server-cluster surface where they
+	// apply.
+	m := b.Multi
+	if m.Seed != 7 || m.Clients != 2 || m.DiskBlocks != 1<<10 ||
+		m.Core.Tau != 5*time.Second || m.Tracer != tr {
+		t.Fatalf("multi-server knobs lost: %+v", m)
+	}
+}
+
+func TestNewClusterWithRuns(t *testing.T) {
+	cl := NewClusterWith(WithSeed(11), WithClients(2), WithDisks(1))
+	cl.Start()
+	sc := cl.SyncClient(0)
+	h, _, err := sc.Open("/via-options", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, BlockSize)
+	copy(payload, "unified vocabulary")
+	if err := sc.WriteAt(h, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.SyncClient(1).ReadAt(mustOpenRO(t, cl.SyncClient(1), "/via-options"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read through the facade returned wrong bytes")
+	}
+	cl.Checker.FinalCheck()
+	if n := len(cl.Checker.Violations()); n != 0 {
+		t.Fatalf("%d violations", n)
+	}
+}
+
+func mustOpenRO(t *testing.T, sc *SyncClient, path string) (h Handle) {
+	t.Helper()
+	h, _, err := sc.Open(path, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewMultiServerWithRuns(t *testing.T) {
+	inst := NewMultiServerWith(WithServers(3), WithClients(1))
+	inst.Start()
+	h := inst.MustOpen(0, "/s1/x", true, true)
+	inst.Write(0, h, 0, make([]byte, BlockSize))
+	inst.Sync(0)
+	if v := inst.FinalCheck(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// TestUnifiedOptionsLiveNodes drives one option list through the live
+// TCP constructors: durable media, a shared registry, a shared tracer —
+// the wiring cmd/tankd does by hand — then a write/read round trip over
+// real sockets through the blocking client surface.
+func TestUnifiedOptionsLiveNodes(t *testing.T) {
+	reg := NewStatsRegistry()
+	tr := NewTracer(NewTraceRing(256))
+	media, err := OpenFileMedia(t.TempDir(), MediaOptions{Blocks: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{
+		WithDiskBlocks(1 << 10),
+		WithTracer(tr),
+		WithRegistry(reg),
+	}
+
+	topo := Topology{Server: 1, ServerAddr: Loopback(), Disks: map[NodeID]string{1000: Loopback()}}
+	dn, err := StartDisk(NodeSpec{ID: 1000, Topo: topo}, append(opts, WithMedia(media))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dn.Close()
+	topo.Disks[1000] = dn.Addr.String()
+
+	srv, err := StartServer(NodeSpec{ID: 1, Topo: topo}, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	topo.ServerAddr = srv.Addr.String()
+
+	cn, err := StartClient(NodeSpec{ID: 10, Topo: topo}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+
+	sc := cn.Sync(10 * time.Second)
+	h, _, err := sc.Open("/live", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, BlockSize)
+	copy(payload, "same options, real sockets")
+	if err := sc.WriteAt(h, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.ReadAt(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("live round trip returned wrong bytes")
+	}
+}

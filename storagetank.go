@@ -10,7 +10,11 @@
 //
 // The package re-exports the pieces a downstream user composes:
 //
-//   - Cluster / Options: a complete simulated installation (Fig 1) for
+//   - The unified With* option vocabulary (options.go): one set of
+//     knobs that configures a simulated Cluster (NewClusterWith), a
+//     simulated server cluster (NewMultiServerWith), and live TCP nodes
+//     (StartServer / StartDisk / StartClient) alike.
+//   - Cluster: a complete simulated installation (Fig 1) for
 //     deterministic experiments and tests.
 //   - Config: the protocol parameters (τ, ε, phase boundaries).
 //   - Policy and the named baselines for comparative runs.
@@ -79,14 +83,18 @@ var (
 // consistency oracle.
 type Cluster = cluster.Cluster
 
-// Options configures a Cluster.
+// Options configures a Cluster. It is the struct-valued shim under the
+// unified With* vocabulary (options.go); prefer NewClusterWith for new
+// code.
 type Options = cluster.Options
 
-// DefaultOptions returns a 3-client, 2-disk installation.
+// DefaultOptions returns a 3-client, 2-disk installation — the same
+// defaults NewClusterWith starts from.
 func DefaultOptions() Options { return cluster.DefaultOptions() }
 
-// NewCluster builds an installation; nothing runs until its scheduler
-// does (cl.Start registers the clients).
+// NewCluster builds an installation from a hand-built Options; nothing
+// runs until its scheduler does (cl.Start registers the clients).
+// Prefer NewClusterWith(opts ...Option) for new code.
 func NewCluster(opts Options) *Cluster { return cluster.New(opts) }
 
 // BlockSize is the data block size used throughout (4 KiB).
@@ -103,6 +111,10 @@ type Media = blockstore.Media
 
 // MediaOptions configures a file-backed media store.
 type MediaOptions = blockstore.Options
+
+// MediaBlockWrite is one block of a vectored media write (Media.WriteV).
+// File-backed media commit a whole batch under one fsync pair.
+type MediaBlockWrite = blockstore.BlockWrite
 
 // MediaRecovery reports what a file-backed store's open-time recovery
 // pass found (journal records replayed, blocks verified, torn blocks).
@@ -184,6 +196,10 @@ func NewTraceLogf(logf func(format string, args ...any)) trace.Sink {
 
 // NodeID identifies a participant (server, client, or disk).
 type NodeID = msg.NodeID
+
+// Handle names an open file on a client (returned by SyncClient.Open
+// and the Cluster conveniences).
+type Handle = msg.Handle
 
 // TraceEventType classifies a trace event.
 type TraceEventType = trace.Type
