@@ -1,8 +1,9 @@
 # Storage Tank reproduction — build and verification entry points.
 
 GO ?= go
+TANKLINT ?= bin/tanklint
 
-.PHONY: all build test race vet verify bench experiments clean
+.PHONY: all build test race vet lint verify bench experiments clean
 
 all: build
 
@@ -18,11 +19,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: everything must compile, pass vet, and
-# run the full suite (including the live-TCP chaos tests and the
-# kill -9 crash-restart durability harness, scalar and vectored)
-# race-clean.
-verify:
+# lint builds tanklint (cmd/tanklint) and runs its four protocol-
+# invariant passes — clockhygiene, locksafety, ackdurable,
+# traceexhaustive — over the whole module through `go vet -vettool`, so
+# results ride the build cache. Exemptions need a visible
+# //lint:allow pass(reason) directive; see README.
+lint:
+	$(GO) build -o $(TANKLINT) ./cmd/tanklint
+	$(GO) vet -vettool=$(TANKLINT) ./...
+
+# verify is the pre-merge gate: everything must compile, pass vet and
+# tanklint, and run the full suite (including the live-TCP chaos tests
+# and the kill -9 crash-restart durability harness, scalar and
+# vectored) race-clean.
+verify: lint
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -40,3 +50,4 @@ experiments:
 
 clean:
 	$(GO) clean ./...
+	rm -f bin/tanklint

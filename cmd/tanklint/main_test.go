@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoClean runs the full tanklint suite in-process over every
+// package in the module and requires zero findings: the shipped tree
+// must satisfy its own invariants, with every exemption carried by a
+// visible, reasoned //lint:allow directive.
+func TestRepoClean(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, fset, err := driver.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := driver.Run(fset, pkgs, Analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestVettool exercises the unitchecker protocol end to end: build the
+// real binary, hand it to `go vet -vettool`, and require a clean exit
+// over the whole module. This is the exact invocation `make lint` and
+// CI use.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the whole module")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "tanklint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/tanklint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tanklint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// TestDirectiveBudget enforces the exemption ceiling: at most 3 parsed
+// //lint:allow directives in the shipped tree (fixtures under testdata
+// exist to be suppressed and do not count; prose mentions and quoted
+// examples are not directives).
+func TestDirectiveBudget(t *testing.T) {
+	root := repoRoot(t)
+	const budget = 3
+	fset := token.NewFileSet()
+	var sites []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", path, err)
+		}
+		dirs, _ := analysis.PackageDirectives(fset, []*ast.File{f})
+		for _, dir := range dirs {
+			rel, _ := filepath.Rel(root, dir.File)
+			sites = append(sites, fmt.Sprintf("%s:%d: lint:allow %s(%s)", rel, dir.FromLine, dir.Analyzer, dir.Reason))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) > budget {
+		t.Errorf("%d lint:allow directives in the shipped tree, budget is %d:\n  %s",
+			len(sites), budget, strings.Join(sites, "\n  "))
+	}
+}

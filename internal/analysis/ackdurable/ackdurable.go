@@ -1,0 +1,267 @@
+// Package ackdurable machine-checks the ack-implies-durable contract in
+// the disk and blockstore packages.
+//
+// Paper property (§4, flush-before-expiry): a client counts a dirty
+// page as safe the moment the disk's DiskWriteRes arrives, and the
+// server lifts a fence the moment FenceRes arrives. Theorem 3.1's
+// "acknowledged writes survive" therefore terminates at two code
+// facts: (1) the reply is only sent after the corresponding
+// Media.Write/WriteV/SetFence returned, with its error inspected, and
+// (2) every fsync in the file-backed media flows through the one
+// sanctioned, instrumented, -no-fsync-gated helper, (*File).sync.
+// Either fact is a one-line diff to destroy silently; this pass makes
+// such a diff a build failure.
+//
+// Rules (disk and blockstore packages, non-test files):
+//
+//	A1  a call whose result includes an error (or []error, the WriteV
+//	    contract) used as a bare statement discards that error; handle
+//	    it, or assign to _ with a reasoned comment (the explicit form
+//	    is allowed, the silent form is not) — this is the errcheck
+//	    sweep for Close/Sync/Remove and every media call
+//	A2  a function in package disk that sends a DiskWriteRes,
+//	    DiskWriteVRes, or FenceRes reply must contain a durable media
+//	    call (Write/WriteV/SetFence) whose error is consumed; an ACK
+//	    with no durability point, or one whose media error goes to _,
+//	    is flagged at the send site
+//	A3  in package blockstore, (*os.File).Sync may only be called
+//	    inside the sanctioned helper (*File).sync — anywhere else
+//	    bypasses the fsync instrumentation and the NoSync gate
+package ackdurable
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ackdurable pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ackdurable",
+	Doc: "enforce ack-implies-durable in disk/blockstore: no discarded media/fsync errors, " +
+		"no write/fence acknowledgment without a checked durable media call, " +
+		"no fsync outside the sanctioned (*File).sync helper",
+	Run: run,
+}
+
+// ackReplies are the message types whose transmission IS the protocol's
+// durability promise.
+var ackReplies = map[string]bool{
+	"DiskWriteRes":  true,
+	"DiskWriteVRes": true,
+	"FenceRes":      true,
+}
+
+// durableMethods are the Media operations that establish durability.
+var durableMethods = map[string]bool{
+	"Write":    true,
+	"WriteV":   true,
+	"SetFence": true,
+}
+
+func run(pass *analysis.Pass) error {
+	base := analysis.PkgBase(pass.Pkg.Path())
+	if base != "disk" && base != "blockstore" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		checkDiscardedErrors(pass, file)
+		if base == "disk" {
+			checkAckFunctions(pass, file)
+		}
+		if base == "blockstore" {
+			checkSanctionedSync(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkDiscardedErrors implements A1: error results may not be dropped
+// by using the call as a statement (plain or deferred).
+func checkDiscardedErrors(pass *analysis.Pass, file *ast.File) {
+	report := func(call *ast.CallExpr) {
+		if !analysis.ReturnsError(pass.TypesInfo, call) {
+			return
+		}
+		name := types.ExprString(call.Fun)
+		pass.Reportf(call.Pos(),
+			"error result of %s is silently discarded: on the ack-implies-durable path every media, fsync, and close error must be handled or explicitly assigned to _ with a reason",
+			name)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				report(call)
+				// The arguments may still contain interesting calls, but a
+				// nested call's error flows into the outer call: only the
+				// outermost statement-position call discards.
+				return false
+			}
+		case *ast.DeferStmt:
+			report(n.Call)
+			return false
+		case *ast.GoStmt:
+			report(n.Call)
+			return false
+		}
+		return true
+	})
+}
+
+// checkAckFunctions implements A2 over each top-level function in the
+// disk package.
+func checkAckFunctions(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var ackSends []*ast.CallExpr       // send(...) calls carrying an ack reply
+		var durableChecked bool            // a media durability call with consumed error
+		var durableDiscarded *ast.CallExpr // a media durability call assigned to _
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sendsAckReply(pass, n) {
+					ackSends = append(ackSends, n)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isDurableMediaCall(pass, call) {
+						continue
+					}
+					// With a single call on the RHS the error lands in the
+					// positionally-matching LHS (or the whole tuple in one
+					// value); blank means discarded.
+					if allBlank(n.Lhs) {
+						durableDiscarded = call
+					} else {
+						durableChecked = true
+					}
+					_ = i
+				}
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && isDurableMediaCall(pass, call) {
+					// Statement position: error dropped. A1 already flags the
+					// discard; remember it so A2 points at the ack too.
+					durableDiscarded = call
+				}
+			case *ast.RangeStmt:
+				// `for i, err := range media.WriteV(batch)` consumes the
+				// error vector.
+				if call, ok := n.X.(*ast.CallExpr); ok && isDurableMediaCall(pass, call) {
+					if n.Value != nil && !isBlank(n.Value) {
+						durableChecked = true
+					} else {
+						durableDiscarded = call
+					}
+				}
+			case *ast.IfStmt:
+				// `if err := media.Write(...); err != nil` — the init
+				// assignment is covered by the AssignStmt case above.
+			}
+			return true
+		})
+		for _, send := range ackSends {
+			switch {
+			case durableChecked:
+			case durableDiscarded != nil:
+				pass.Reportf(send.Pos(),
+					"write/fence reply sent but the media call at %s discards its error: the acknowledgment must depend on Media success (ack-implies-durable)",
+					pass.Fset.Position(durableDiscarded.Pos()))
+			default:
+				pass.Reportf(send.Pos(),
+					"write/fence reply sent without any durable media call (Media.Write/WriteV/SetFence) in this function: an acknowledgment that nothing made stable violates ack-implies-durable")
+			}
+		}
+	}
+}
+
+// sendsAckReply reports whether a call passes a *msg.DiskWriteRes,
+// *msg.DiskWriteVRes, or *msg.FenceRes as an argument — the shape of
+// every d.send(client, res) acknowledgment.
+func sendsAckReply(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok {
+			continue
+		}
+		named := analysis.NamedOf(tv.Type)
+		if named == nil || named.Obj().Pkg() == nil {
+			continue
+		}
+		if analysis.PkgBase(named.Obj().Pkg().Path()) == "msg" && ackReplies[named.Obj().Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// isDurableMediaCall reports whether call invokes Write/WriteV/SetFence
+// on a blockstore media value (the Media interface or a concrete store).
+func isDurableMediaCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || !durableMethods[fn.Name()] {
+		return false
+	}
+	recv := analysis.RecvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return false
+	}
+	return analysis.PkgBase(recv.Obj().Pkg().Path()) == "blockstore"
+}
+
+// checkSanctionedSync implements A3: (*os.File).Sync only inside the
+// helper method named "sync".
+func checkSanctionedSync(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Recv != nil && fd.Name.Name == "sync" {
+			continue // the sanctioned helper itself
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Sync" {
+				return true
+			}
+			recv := analysis.RecvNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			if recv.Obj().Pkg().Path() == "os" && recv.Obj().Name() == "File" {
+				pass.Reportf(call.Pos(),
+					"direct (*os.File).Sync bypasses the sanctioned (*File).sync helper: fsyncs must be instrumented and respect the NoSync gate in one place")
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	saw := false
+	for _, e := range exprs {
+		if !isBlank(e) {
+			return false
+		}
+		saw = true
+	}
+	return saw
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,65 @@
+// Package blockstore mirrors the media surface the ackdurable pass keys
+// on. Being in scope itself, it also exercises rules A1 (discarded
+// errors) and A3 (fsync outside the sanctioned helper).
+package blockstore
+
+import (
+	"os"
+
+	"repro/internal/analysis/ackdurable/testdata/src/msg"
+)
+
+type BlockWrite struct {
+	Block uint64
+	Data  []byte
+	Ver   uint64
+}
+
+type Media interface {
+	Write(block uint64, data []byte, ver uint64) error
+	WriteV(batch []BlockWrite) []error
+	SetFence(target msg.NodeID, on bool) error
+	Close() error
+}
+
+type File struct {
+	f      *os.File
+	noSync bool
+}
+
+// sync is the sanctioned fsync helper; A3 exempts the method by name.
+func (f *File) sync(file *os.File) error {
+	if f.noSync {
+		return nil
+	}
+	return file.Sync()
+}
+
+func (f *File) commit() error {
+	return f.sync(f.f)
+}
+
+func rogueSync(file *os.File) error {
+	return file.Sync() // want `direct \(\*os.File\).Sync bypasses the sanctioned`
+}
+
+func closeQuietly(f *os.File) {
+	f.Close() // want `error result of f.Close is silently discarded`
+}
+
+func deferCloseQuietly(f *os.File) error {
+	defer f.Close() // want `error result of f.Close is silently discarded`
+	return nil
+}
+
+func closeExplicitly(f *os.File) {
+	// Deliberate, reasoned discard: the explicit form is the allowed one.
+	_ = f.Close()
+}
+
+func closeChecked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package msg mirrors the reply types the ackdurable pass keys on: the
+// pass matches them by package base and type name, so this fixture
+// triggers the same rules as the real protocol package.
+package msg
+
+type NodeID int32
+
+type DiskWriteRes struct {
+	Block uint64
+	OK    bool
+}
+
+type DiskWriteVRes struct {
+	OK []bool
+}
+
+type FenceRes struct {
+	Target NodeID
+}

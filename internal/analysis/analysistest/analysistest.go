@@ -1,0 +1,145 @@
+// Package analysistest runs one analyzer over golden fixture packages
+// and compares its findings against expectations written in the
+// fixtures themselves, as trailing comments:
+//
+//	deadline := time.Now() // want `time.Now bypasses the injected clock`
+//
+// Each `// want` comment carries one or more Go-quoted regular
+// expressions; every diagnostic the analyzer (or the //lint:allow
+// directive parser) reports on that line must match one of them, and
+// every expectation must be matched by at least one diagnostic. A
+// block-comment form (`/* want "re" */`) exists for the rare line whose
+// trailing line comment is itself under test.
+//
+// Fixtures live under the analyzer package's testdata/src/<name>/ and
+// are ordinary compilable Go packages inside this module: the go tool
+// ignores testdata for `./...` patterns, so their deliberate violations
+// never leak into the real build, but explicit paths still resolve, so
+// the same go/list-based loader the production driver uses loads them
+// with full type information.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// want is one parsed expectation.
+type want struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each testdata/src/<fixture> package relative to the test's
+// working directory, runs the analyzer with directive suppression
+// applied (exactly as the driver does), and diffs the findings against
+// the fixtures' `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./testdata/src/" + fx
+	}
+	pkgs, fset, err := driver.Load(".", patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	diags, err := driver.Run(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					args, ok := wantArgs(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, re := range parseWantRegexps(t, pos.Filename, pos.Line, args) {
+						wants = append(wants, &want{
+							file: pos.Filename,
+							line: pos.Line,
+							raw:  re.String(),
+							re:   re,
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantArgs extracts the argument text of a want expectation from one
+// raw comment, or reports that the comment carries none. Line comments
+// may embed the marker after other text (`//lint:allow ... // want "re"`
+// is a single comment token); block comments must lead with it.
+func wantArgs(text string) (string, bool) {
+	if strings.HasPrefix(text, "/*") {
+		body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+		if rest, ok := strings.CutPrefix(body, "want "); ok {
+			return rest, true
+		}
+		return "", false
+	}
+	idx := strings.LastIndex(text, "// want ")
+	if idx < 0 {
+		return "", false
+	}
+	return text[idx+len("// want "):], true
+}
+
+// parseWantRegexps parses a sequence of Go-quoted string literals, each
+// a regular expression.
+func parseWantRegexps(t *testing.T, file string, line int, args string) []*regexp.Regexp {
+	t.Helper()
+	var res []*regexp.Regexp
+	rest := strings.TrimSpace(args)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Errorf("%s:%d: malformed want expectation %q: each argument must be a quoted Go string", file, line, rest)
+			break
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Errorf("%s:%d: unquoting %s: %v", file, line, q, err)
+			break
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Errorf("%s:%d: want pattern %q: %v", file, line, s, err)
+			break
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return res
+}

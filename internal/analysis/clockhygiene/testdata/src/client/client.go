@@ -1,0 +1,41 @@
+// Package client is a clockhygiene fixture: its import-path base makes
+// it a protocol package, so every ambient wall-clock access below is a
+// violation unless a directive covers it.
+package client
+
+import "time"
+
+// Tick exercises the unit-system carve-out: time.Duration and the
+// duration constants are types and values, not clock reads.
+const Tick = 50 * time.Millisecond
+
+func violations() time.Time {
+	deadline := time.Now()    // want `time.Now bypasses the injected clock`
+	time.Sleep(Tick)          // want `time.Sleep bypasses the injected clock`
+	<-time.After(Tick)        // want `time.After bypasses the injected clock`
+	_ = time.Since(deadline)  // want `time.Since bypasses the injected clock`
+	tm := time.NewTimer(Tick) // want `time.NewTimer bypasses the injected clock`
+	tm.Stop()
+	return deadline
+}
+
+func allowedLine() {
+	start := time.Now() //lint:allow clockhygiene(measures the harness itself, not protocol time)
+	_ = start
+}
+
+// allowedFunc stamps wall time for an operator-facing report; the
+// function-doc directive covers its whole body.
+//
+//lint:allow clockhygiene(report timestamps are operator-facing wall time by design)
+func allowedFunc() time.Time {
+	first := time.Now()
+	second := time.Now()
+	_ = second
+	return first
+}
+
+func wrongAnalyzerDirective() {
+	//lint:allow locksafety(covers a different pass, so clockhygiene still fires)
+	_ = time.Now() // want `time.Now bypasses the injected clock`
+}

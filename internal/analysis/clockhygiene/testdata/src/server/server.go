@@ -1,0 +1,16 @@
+// Package server is the clockhygiene fixture for directive hygiene:
+// an exemption is itself checked, so a directive without a reason (or
+// with broken syntax) is a finding, and it suppresses nothing.
+package server
+
+import "time"
+
+func emptyReason() {
+	/* want `directive needs a reason` */ //lint:allow clockhygiene()
+	_ = time.Now()                        // want `time.Now bypasses the injected clock`
+}
+
+func brokenSyntax() {
+	//lint:allow clockhygiene missing-parens // want `malformed lint:allow directive`
+	_ = time.Now() // want `time.Now bypasses the injected clock`
+}

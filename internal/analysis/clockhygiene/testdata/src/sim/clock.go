@@ -1,0 +1,8 @@
+// Package sim is the clockhygiene fixture for the one sanctioned file:
+// sim/clock.go defines the wall-clock adapter the rest of the tree
+// injects, so its direct time calls are exempt by construction.
+package sim
+
+import "time"
+
+func wallNow() time.Time { return time.Now() }

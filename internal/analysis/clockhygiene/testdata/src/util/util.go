@@ -1,0 +1,9 @@
+// Package util is a clockhygiene negative fixture: it is not a protocol
+// package, so ambient wall-clock use is none of the pass's business.
+package util
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Nap() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// A //lint:allow directive exempts one site from one analyzer, visibly:
+//
+//	start := time.Now() //lint:allow clockhygiene(fsync latency stamp)
+//
+// or, for a whole function, in its doc comment:
+//
+//	// sync fsyncs one file, instrumented.
+//	//
+//	//lint:allow clockhygiene(measures real fsync latency)
+//	func (f *File) sync(file *os.File) error { ... }
+//
+// The reason is mandatory — an exemption without a justification is
+// itself a finding — and every directive is grep-able, so the complete
+// exemption surface of the tree is visible in one search.
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	// Analyzer is the pass being suppressed.
+	Analyzer string
+	// Reason is the mandatory justification.
+	Reason string
+	// File and the inclusive line range the directive covers.
+	File             string
+	FromLine, ToLine int
+	// Pos is the directive's own position.
+	Pos token.Pos
+}
+
+var directiveRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\(([^)]*)\)\s*$`)
+
+// PackageDirectives scans a package's comments for //lint:allow
+// directives. A directive in a function's doc comment covers the whole
+// function; anywhere else it covers its own line and the next (so it can
+// sit above the statement it excuses). Malformed directives — an empty
+// reason — are returned as diagnostics for the driver to report.
+func PackageDirectives(fset *token.FileSet, files []*ast.File) (dirs []Directive, malformed []Diagnostic) {
+	for _, f := range files {
+		// Map doc-comment groups to their function's line range.
+		funcDocs := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			funcDocs[fd.Doc] = [2]int{
+				fset.Position(fd.Pos()).Line,
+				fset.Position(fd.End()).Line,
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "lint:allow") {
+						malformed = append(malformed, Diagnostic{
+							Pos:     c.Pos(),
+							Message: "malformed lint:allow directive: want //lint:allow analyzer(reason)",
+						})
+					}
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "lint:allow " + name + " directive needs a reason: //lint:allow " + name + "(why this site is exempt)",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := Directive{
+					Analyzer: name,
+					Reason:   reason,
+					File:     pos.Filename,
+					FromLine: pos.Line,
+					ToLine:   pos.Line + 1,
+					Pos:      c.Pos(),
+				}
+				if rng, ok := funcDocs[cg]; ok {
+					d.FromLine, d.ToLine = rng[0], rng[1]
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// Suppress filters out diagnostics covered by a matching directive.
+func Suppress(fset *token.FileSet, analyzer string, diags []Diagnostic, dirs []Directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		covered := false
+		for _, dir := range dirs {
+			if dir.Analyzer == analyzer && dir.File == pos.Filename &&
+				dir.FromLine <= pos.Line && pos.Line <= dir.ToLine {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

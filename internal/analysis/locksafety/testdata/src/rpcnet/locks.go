@@ -1,0 +1,95 @@
+// Package rpcnet is a locksafety fixture: an in-scope package whose
+// mutexes are leaf locks, so blocking while holding one is a finding.
+package rpcnet
+
+import (
+	"sync"
+	"time"
+)
+
+type Transport struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	conns map[int]int
+	ch    chan int
+}
+
+func (t *Transport) sendUnderLock() {
+	t.mu.Lock()
+	t.ch <- 1 // want `channel send while t.mu is held`
+	t.mu.Unlock()
+}
+
+func (t *Transport) recvUnderDeferredLock() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want `channel receive while t.mu is held`
+}
+
+func (t *Transport) sleepUnderRLock() {
+	t.rw.RLock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while t.rw is held`
+	t.rw.RUnlock()
+}
+
+func (t *Transport) selectNoDefault() {
+	t.mu.Lock()
+	select {
+	case v := <-t.ch: // want `select without default while t.mu is held`
+		_ = v
+	case t.ch <- 0: // want `select without default while t.mu is held`
+	}
+	t.mu.Unlock()
+}
+
+func (t *Transport) selectWithDefault() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case v := <-t.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (t *Transport) releasedFirst() {
+	t.mu.Lock()
+	n := len(t.conns)
+	t.mu.Unlock()
+	t.ch <- n
+}
+
+func (t *Transport) handoff() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.ch <- 1
+	}()
+}
+
+func (t *Transport) doubleLock() {
+	t.mu.Lock()
+	t.mu.Lock() // want `Lock of t.mu which is already held`
+	t.mu.Unlock()
+}
+
+func (t *Transport) doubleRLock() {
+	t.rw.RLock()
+	t.rw.RLock()
+	t.rw.RUnlock()
+	t.rw.RUnlock()
+}
+
+func (t *Transport) upgradeAttempt() {
+	t.rw.RLock()
+	t.rw.Lock() // want `Lock of t.rw which is already held`
+	t.rw.Unlock()
+	t.rw.RUnlock()
+}
+
+func (t *Transport) waitUnderLock(wg *sync.WaitGroup) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wg.Wait() // want `call to \(sync.WaitGroup\).Wait while t.mu is held`
+}

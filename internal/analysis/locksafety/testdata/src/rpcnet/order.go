@@ -1,0 +1,25 @@
+package rpcnet
+
+import "sync"
+
+// registry and pool exist to witness a lock-order inversion: abOrder
+// establishes registry-then-pool, baOrder the reverse. The report names
+// the alphabetically-first lock and lands on the acquisition that took
+// it second.
+type registry struct{ mu sync.Mutex }
+
+type pool struct{ mu sync.Mutex }
+
+func abOrder(r *registry, p *pool) {
+	r.mu.Lock()
+	p.mu.Lock() // want `lock-order inversion: pool.mu is taken while holding registry.mu`
+	p.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func baOrder(r *registry, p *pool) {
+	p.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package stats is a locksafety fixture for the sanctioned patterns: a
+// registry whose mutex only ever guards memory.
+package stats
+
+import "sync"
+
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]uint64
+	dirty    chan string
+}
+
+func (r *Registry) Inc(name string) {
+	r.mu.Lock()
+	r.counters[name]++
+	r.mu.Unlock()
+	select {
+	case r.dirty <- name:
+	default:
+	}
+}
+
+func (r *Registry) Get(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[name]
+}

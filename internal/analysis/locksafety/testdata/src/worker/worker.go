@@ -1,0 +1,16 @@
+// Package worker is a locksafety negative fixture: out of scope, so
+// even a blocking send under a held mutex is not this pass's business.
+package worker
+
+import "sync"
+
+type Queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}

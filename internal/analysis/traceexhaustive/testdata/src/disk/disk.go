@@ -1,0 +1,17 @@
+// Package disk is the traceexhaustive negative fixture for rule T2:
+// mediaFailed traces before it answers, as the contract demands.
+package disk
+
+type Disk struct {
+	trace func(string)
+	out   func(to int, m any)
+}
+
+func (d *Disk) emit(note string)   { d.trace(note) }
+func (d *Disk) send(to int, m any) { d.out(to, m) }
+
+func (d *Disk) mediaFailed(to int, err error) error {
+	d.emit(err.Error())
+	d.send(to, err)
+	return err
+}

@@ -1,0 +1,33 @@
+// Package server is the traceexhaustive fixture for rule T2: the
+// configured protocol-error function (Server).nack must emit a trace
+// event lexically before every reply send and every error return.
+package server
+
+import "errors"
+
+var errEmpty = errors.New("empty reason")
+
+type Event struct{ Note string }
+
+type Server struct {
+	sink func(Event)
+	out  func(to int, m any)
+}
+
+func (s *Server) emit(e Event)       { s.sink(e) }
+func (s *Server) send(to int, m any) { s.out(to, m) }
+
+func (s *Server) nack(to int, why string) error {
+	if why == "" {
+		return errEmpty // want `error return in server.Server.nack without a preceding trace emit`
+	}
+	s.send(to, why) // want `reply send in server.Server.nack without a preceding trace emit`
+	s.emit(Event{Note: why})
+	s.send(to, why)
+	return nil
+}
+
+// ack is not a configured error path; it owes no emit.
+func (s *Server) ack(to int) {
+	s.send(to, "ok")
+}

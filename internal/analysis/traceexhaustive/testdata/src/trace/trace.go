@@ -1,0 +1,63 @@
+// Package trace is the traceexhaustive fixture for rule T1: every
+// constant of a stringed enum must appear in a mapping — a switch case
+// or a keyed name-table literal.
+package trace
+
+// Kind is mapped by switch; KindDrop was added without a case.
+type Kind uint8
+
+const (
+	KindStart Kind = iota
+	KindStop
+	KindDrop // want `enum constant trace.KindDrop is not covered`
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStart:
+		return "start"
+	case KindStop:
+		return "stop"
+	}
+	return "unknown"
+}
+
+// Code is mapped by the keyed name-table idiom; fully covered.
+type Code uint8
+
+const (
+	CodeOK Code = iota
+	CodeErr
+)
+
+var codeNames = [...]string{
+	CodeOK:  "ok",
+	CodeErr: "err",
+}
+
+func (c Code) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return "?"
+}
+
+// phase has no String method, so it is not a trace vocabulary and its
+// constants owe no mapping.
+type phase uint8
+
+const (
+	phaseIdle phase = iota
+	phaseBusy
+)
+
+// Sentinel has a String method but only one constant: a lone sentinel
+// is not an enum.
+type Sentinel uint8
+
+const SentinelZero Sentinel = 0
+
+func (s Sentinel) String() string { return "zero" }
+
+// use keeps the unexported phase constants referenced.
+func use() phase { return phaseIdle + phaseBusy }

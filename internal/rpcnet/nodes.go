@@ -188,6 +188,9 @@ func (o nodeOptions) applyTransport(t *Transport) {
 	if o.logf != nil {
 		t.SetLogf(o.logf)
 	}
+	if o.clock != nil {
+		t.SetClock(o.clock)
+	}
 }
 
 // applyControl configures a control-network transport; applySAN a SAN
@@ -296,6 +299,10 @@ type ClientNode struct {
 	SAN    *Transport
 	Exec   *Executor
 	Reg    *stats.Registry
+	// tmo times Sync's completion deadline. It deliberately bypasses the
+	// executor-funneled protocol clock: the timeout must still fire when
+	// the executor is the thing that is stuck. WithClock overrides it.
+	tmo sim.Clock
 }
 
 // StartClientNode launches client spec.ID: it dials the topology's
@@ -313,6 +320,9 @@ func StartClientNode(spec NodeSpec, cfg client.Config, opts ...Option) (*ClientN
 	clock := o.clock
 	if clock == nil {
 		clock = n.Ctrl.Clock()
+		n.tmo = sim.NewRealClock(nil)
+	} else {
+		n.tmo = clock
 	}
 	n.Client = client.New(spec.ID, spec.Topo.Server, cfg, clock,
 		n.Ctrl.Send, n.SAN.Send, nil, n.Reg, o.tracer)
@@ -342,7 +352,7 @@ func (n *ClientNode) Sync(timeout time.Duration) *client.SyncClient {
 		select {
 		case <-ch:
 			return true
-		case <-time.After(timeout):
+		case <-sim.After(n.tmo, timeout):
 			return false
 		}
 	})

@@ -47,6 +47,12 @@ type Transport struct {
 	submitFn func(func())
 	handler  func(env msg.Envelope)
 	clock    *sim.RealClock
+	// delayClock times fault-injected send latency. Unlike clock, its
+	// callbacks must never funnel through the executor: the send
+	// goroutine parks on it, and a drained executor would turn a 5ms
+	// injected delay into a leaked goroutine. Defaults to a plain wall
+	// clock; SetClock overrides it for tests that own time.
+	delayClock sim.Clock
 
 	// dialFn establishes outbound connections (net.Dial in production;
 	// tests swap it to observe and gate dialing).
@@ -73,7 +79,17 @@ func New(self msg.NodeID, addrs map[msg.NodeID]string, handler func(env msg.Enve
 		logf:    func(string, ...any) {},
 	}
 	t.clock = sim.NewRealClock(t.Submit)
+	t.delayClock = sim.NewRealClock(nil)
 	return t
+}
+
+// SetClock overrides the clock that times fault-injected send latency
+// (default: a wall clock firing on the timer goroutine). Call before
+// traffic flows.
+func (t *Transport) SetClock(c sim.Clock) {
+	if c != nil {
+		t.delayClock = c
+	}
 }
 
 // SetLogf installs a debug logger.
@@ -246,7 +262,7 @@ func (t *Transport) Send(to msg.NodeID, m msg.Message) {
 	}
 	go func() {
 		if delay > 0 {
-			time.Sleep(delay)
+			sim.Sleep(t.delayClock, delay)
 		}
 		codec, err := t.connTo(to)
 		if err != nil {

@@ -1,0 +1,26 @@
+package sim
+
+import "time"
+
+// Sleep blocks the calling goroutine until local duration d elapses on
+// clock c — the clock-routed replacement for time.Sleep. It must only be
+// called from goroutines that are allowed to block (a transport's send
+// goroutine, a test), never from a node executor: on a simulated clock
+// the callback arrives on the scheduler goroutine, and parking that
+// goroutine in Sleep would deadlock the simulation.
+func Sleep(c Clock, d time.Duration) {
+	<-After(c, d)
+}
+
+// After returns a channel that is closed once local duration d elapses
+// on clock c — the clock-routed analogue of time.After for select
+// loops. A non-positive d yields an already-closed channel.
+func After(c Clock, d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	if d <= 0 {
+		close(ch)
+		return ch
+	}
+	c.AfterFunc(d, func() { close(ch) })
+	return ch
+}
