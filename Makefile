@@ -3,7 +3,7 @@
 GO ?= go
 TANKLINT ?= bin/tanklint
 
-.PHONY: all build test race vet lint verify bench experiments clean
+.PHONY: all build test race vet lint verify bench bench-gate experiments clean
 
 all: build
 
@@ -43,6 +43,16 @@ verify: lint
 # cmd/benchjson).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_tier1.json
+
+# bench-gate regenerates BENCH_tier1.json AND fails (exit 1) if any
+# benchmark's allocs/op or B/op regressed more than 5% against the
+# checked-in baseline — the alloc regression gate for the zero-copy
+# wire codec. One benchmark run feeds both: the old report is snapshot
+# to bin/ first, then compared against the fresh numbers.
+bench-gate:
+	@mkdir -p bin
+	cp BENCH_tier1.json bin/bench_baseline.json
+	$(GO) test -run=NONE -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_tier1.json -compare bin/bench_baseline.json
 
 # Regenerate the paper's figures and tables (see EXPERIMENTS.md).
 experiments:

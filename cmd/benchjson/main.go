@@ -14,6 +14,17 @@
 //
 // Non-benchmark lines (PASS, ok, package headers) pass through to
 // stderr so a terminal run still shows the suite's progress.
+//
+// With -compare BASELINE.json the command also gates allocation
+// regressions: for every benchmark present in both the baseline report
+// and the current stream, allocs/op and B/op may not exceed the
+// baseline by more than 5%. Any regression is listed and the exit
+// status is 1, so `make bench-gate` (and the CI bench job) fail loudly
+// when a change quietly reintroduces per-message allocations.
+// Benchmarks that exist on only one side are ignored (new benchmarks
+// have no baseline; retired ones no current number), and timing metrics
+// are never gated — ns/op is hardware-noisy in CI, allocation counts
+// are deterministic.
 package main
 
 import (
@@ -47,6 +58,8 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to FILE (default stdout)")
+	compare := flag.String("compare", "",
+		"gate against a baseline report: exit 1 if any benchmark's allocs/op or B/op regresses >5%")
 	flag.Parse()
 
 	var results []Result
@@ -78,15 +91,76 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	switch {
+	case *out == "" && *compare == "":
 		os.Stdout.Write(buf)
-		return
+	case *out != "":
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if *compare != "" {
+		regressions, err := compareBaseline(*compare, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION "+r)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d allocation regression(s) vs %s\n",
+				len(regressions), *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocation gate clean vs %s\n", *compare)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// gatedMetrics are the units the -compare gate enforces. Only
+// allocation behavior: deterministic per run, unlike wall-clock timing.
+var gatedMetrics = []string{"allocs/op", "B/op"}
+
+// regressionSlack is how far above the baseline a gated metric may
+// drift before the gate fails (benchmarks with tiny absolute counts
+// jitter by an alloc or two across runs).
+const regressionSlack = 1.05
+
+// compareBaseline diffs the current results against a stored report and
+// returns one human-readable line per gated regression.
+func compareBaseline(path string, current []Result) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current {
+		old, ok := baseline[cur.Name]
+		if !ok {
+			continue
+		}
+		for _, unit := range gatedMetrics {
+			was, okOld := old.Metrics[unit]
+			now, okNew := cur.Metrics[unit]
+			if !okOld || !okNew || now <= was*regressionSlack {
+				continue
+			}
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %.0f -> %.0f (+%.1f%%, gate is +5%%)",
+				cur.Name, unit, was, now, (now/was-1)*100))
+		}
+	}
+	return regressions, nil
 }
 
 // Report is the full JSON document: the parsed benchmark records plus

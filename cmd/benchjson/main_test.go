@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	buf, err := json.Marshal(Report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, allocs, bytes float64) Result {
+	return Result{Name: name, Metrics: map[string]float64{
+		"allocs/op": allocs, "B/op": bytes}}
+}
+
+func TestCompareBaselineCleanWithinSlack(t *testing.T) {
+	base := writeBaseline(t, []Result{bench("BenchmarkF1-8", 1000, 50000)})
+	// +4% is inside the 5% slack; improvements are always fine.
+	regs, err := compareBaseline(base, []Result{bench("BenchmarkF1-8", 1040, 40000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+}
+
+func TestCompareBaselineFlagsRegression(t *testing.T) {
+	base := writeBaseline(t, []Result{
+		bench("BenchmarkF1-8", 1000, 50000),
+		bench("BenchmarkF2-8", 10, 100),
+	})
+	regs, err := compareBaseline(base, []Result{
+		bench("BenchmarkF1-8", 1100, 50000), // allocs +10%
+		bench("BenchmarkF2-8", 10, 120),     // bytes +20%
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+}
+
+func TestCompareBaselineIgnoresUnmatched(t *testing.T) {
+	base := writeBaseline(t, []Result{bench("BenchmarkRetired-8", 1, 1)})
+	regs, err := compareBaseline(base, []Result{bench("BenchmarkNew-8", 1e9, 1e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v; unmatched benchmarks must not gate", regs)
+	}
+}
+
+func TestCompareBaselineMissingFile(t *testing.T) {
+	if _, err := compareBaseline(filepath.Join(t.TempDir(), "nope.json"), nil); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

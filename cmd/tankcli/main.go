@@ -34,6 +34,7 @@ func main() {
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ (must match tankd)")
 		eps        = flag.Float64("eps", 0.05, "rate bound ε (must match tankd)")
 		tracing    = flag.Bool("trace", false, "log lease-lifecycle events to stderr")
+		codecName  = flag.String("codec", "binary", "wire codec to dial with: binary (zero-copy) or gob (fallback)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -53,6 +54,11 @@ func main() {
 	if *tracing {
 		opts = append(opts, rpcnet.WithTracer(trace.New(trace.NewLogf(log.Printf))))
 	}
+	codecOpt, err := rpcnet.WithWireCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts = append(opts, codecOpt)
 	node, err := rpcnet.StartClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
 		client.Config{Core: cfg}, opts...)
 	if err != nil {

@@ -1,7 +1,7 @@
-// Command tanklint is the repository's protocol-invariant linter: four
+// Command tanklint is the repository's protocol-invariant linter: five
 // static-analysis passes that machine-check the discipline rules the
-// paper's safety argument (Theorem 3.1) rests on but the compiler
-// cannot see.
+// paper's safety argument (Theorem 3.1) and the zero-copy data path
+// rest on but the compiler cannot see.
 //
 //	clockhygiene     protocol time flows through the injected sim.Clock
 //	                 (rate-synchronized clocks, DESIGN §3)
@@ -12,6 +12,9 @@
 //	                 sanctioned helper (flush-before-expiry, DESIGN §4/§9)
 //	traceexhaustive  trace/drop/errno enums stay exhaustively mapped and
 //	                 protocol-error paths emit their trace events
+//	hotpathalloc     //tank:hotpath-marked codec primitives contain no
+//	                 allocating constructs outside the buffer pool
+//	                 (zero-copy wire codec, DESIGN §12)
 //
 // Usage:
 //
@@ -32,6 +35,7 @@ import (
 	"repro/internal/analysis/ackdurable"
 	"repro/internal/analysis/clockhygiene"
 	"repro/internal/analysis/driver"
+	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/locksafety"
 	"repro/internal/analysis/traceexhaustive"
 )
@@ -42,6 +46,7 @@ var Analyzers = []*analysis.Analyzer{
 	locksafety.Analyzer,
 	ackdurable.Analyzer,
 	traceexhaustive.Analyzer,
+	hotpathalloc.Analyzer,
 }
 
 func main() {

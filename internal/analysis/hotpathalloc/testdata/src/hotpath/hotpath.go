@@ -1,0 +1,53 @@
+// Package hotpath is a hotpathalloc fixture: functions marked
+// //tank:hotpath may not contain allocating constructs; unmarked
+// functions may do whatever they like.
+package hotpath
+
+import "fmt"
+
+// encode is marked hot: every allocating construct below is a finding.
+//
+//tank:hotpath
+func encode(dst []byte, xs []int, s string) int {
+	buf := make([]byte, 16) // want `make allocates`
+	p := new(int)           // want `new allocates`
+	dst = append(dst, 1)    // want `append may grow`
+	v := []int{1, 2}        // want `slice literal allocates`
+	m := map[int]int{1: 2}  // want `map literal allocates`
+	q := &point{1, 2}       // want `&T\{\} heap-allocates`
+	f := func() {}          // want `closure allocates`
+	fmt.Println(xs)         // want `fmt.Println boxes its operands`
+	b := []byte(s)          // want `\[\]byte\(string\) conversion copies`
+	t := string(dst)        // want `string\(bytes\) conversion copies`
+	f()
+	_, _, _, _, _, _, _ = buf, p, v, m, q, b, t
+	return len(dst)
+}
+
+type point struct{ x, y int }
+
+// decode is marked hot but clean: offset arithmetic, copies into
+// caller-provided buffers, value-typed struct literals, and calls to
+// helpers are all fine.
+//
+//tank:hotpath
+func decode(b []byte) (point, int) {
+	var pt point
+	pt = point{x: int(b[0]), y: int(b[1])} // value literal: stack, no finding
+	n := copy(b[2:], b[:2])
+	return pt, n + helper(b)
+}
+
+// helper is unmarked: the marker is per-function, not transitive, so
+// its allocations are its own business.
+func helper(b []byte) int {
+	tmp := make([]byte, len(b))
+	return copy(tmp, b)
+}
+
+// exempted shows the directive escape hatch.
+//
+//tank:hotpath
+func exempted() []byte {
+	return make([]byte, 8) //lint:allow hotpathalloc(cold error path, runs once per connection)
+}

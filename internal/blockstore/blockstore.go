@@ -49,10 +49,12 @@ var ErrTorn = errors.New("blockstore: torn block")
 // required to be concurrency-safe: the disk funnels all access through
 // its single-actuator executor, exactly as the device model demands.
 type Media interface {
-	// Read returns a copy of a block's stable contents and version
-	// stamp. ok is false for a never-written block (the device serves
-	// zeros). A torn block returns an error wrapping ErrTorn; other
-	// errors are media failures.
+	// Read returns a block's stable contents and version stamp. The
+	// returned slice may be the store's internal buffer and is read-only:
+	// the caller must not mutate it, and it stays valid until the block
+	// is rewritten. ok is false for a never-written block (the device
+	// serves zeros). A torn block returns an error wrapping ErrTorn;
+	// other errors are media failures.
 	Read(block uint64) (data []byte, ver uint64, ok bool, err error)
 	// Write durably stores one block (at most BlockSize bytes; short
 	// writes are zero-padded) with its version stamp. The caller must

@@ -23,13 +23,16 @@ func NewMem() *Mem {
 	}
 }
 
-// Read returns a copy of the block, or ok=false if never written.
+// Read returns the stored block, or ok=false if never written. The
+// returned slice is the store's own buffer and is read-only by the Media
+// contract; Write always installs a fresh buffer, so a previously
+// returned slice is never mutated in place.
 func (m *Mem) Read(block uint64) (data []byte, ver uint64, ok bool, err error) {
 	b, ok := m.data[block]
 	if !ok {
 		return nil, 0, false, nil
 	}
-	return append([]byte(nil), b...), m.vers[block], true, nil
+	return b, m.vers[block], true, nil
 }
 
 // Write stores a zero-padded copy of the block.

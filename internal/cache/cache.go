@@ -10,11 +10,17 @@ import (
 	"container/list"
 	"sort"
 
+	"repro/internal/bufpool"
 	"repro/internal/msg"
 	"repro/internal/stats"
 )
 
 // Page is one cached block of file data.
+//
+// Data is a pooled buffer (internal/bufpool) owned by the cache: it is
+// recycled when the page is evicted, dropped, or invalidated, so
+// anything that keeps page content past the current executor turn must
+// copy it (the read paths in internal/client do).
 type Page struct {
 	Data  []byte
 	Dirty bool
@@ -135,6 +141,7 @@ func (c *Cache) evictIfNeeded() {
 			if p.Dirty {
 				continue // pinned until flushed
 			}
+			bufpool.Put(p.Data)
 			delete(o.pages, k.idx)
 			c.lru.Remove(e)
 			delete(c.elems, k)
@@ -174,10 +181,16 @@ func (c *Cache) Lookup(ino msg.ObjectID, idx uint64) *Page {
 	return nil
 }
 
-// Fill installs a clean page read from the SAN.
+// Fill installs a clean page read from the SAN. data is copied into a
+// pooled buffer — it may alias a receive buffer the transport recycles.
 func (c *Cache) Fill(ino msg.ObjectID, idx uint64, data []byte, ver uint64) *Page {
 	o := c.Ensure(ino)
-	p := &Page{Data: append([]byte(nil), data...), Ver: ver}
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	p := &Page{Data: buf, Ver: ver}
+	if old := o.pages[idx]; old != nil {
+		bufpool.Put(old.Data)
+	}
 	o.pages[idx] = p
 	c.touch(pageKey{ino, idx})
 	c.evictIfNeeded()
@@ -193,7 +206,13 @@ func (c *Cache) Write(ino msg.ObjectID, idx uint64, data []byte, ver uint64) *Pa
 		p = &Page{}
 		o.pages[idx] = p
 	}
-	p.Data = append(p.Data[:0], data...)
+	if cap(p.Data) >= len(data) {
+		p.Data = p.Data[:len(data)]
+	} else {
+		bufpool.Put(p.Data)
+		p.Data = bufpool.Get(len(data))
+	}
+	copy(p.Data, data)
 	p.Ver = ver
 	if !p.Dirty {
 		p.Dirty = true
@@ -274,6 +293,7 @@ func (c *Cache) DropPagesFrom(ino msg.ObjectID, from uint64) {
 			delete(o.dirtyKeys, idx)
 			c.dirtyPages.Add(-1)
 		}
+		bufpool.Put(p.Data)
 		delete(o.pages, idx)
 		c.forget(pageKey{ino, idx})
 	}
@@ -285,7 +305,8 @@ func (c *Cache) DropPagesFrom(ino msg.ObjectID, from uint64) {
 func (c *Cache) Drop(ino msg.ObjectID) {
 	if o := c.objects[ino]; o != nil {
 		c.dirtyPages.Add(-int64(len(o.dirtyKeys)))
-		for idx := range o.pages {
+		for idx, p := range o.pages {
+			bufpool.Put(p.Data)
 			c.forget(pageKey{ino, idx})
 		}
 		delete(c.objects, ino)
@@ -299,6 +320,9 @@ func (c *Cache) Drop(ino msg.ObjectID) {
 func (c *Cache) InvalidateAll() (discardedDirty int) {
 	for _, o := range c.objects {
 		discardedDirty += len(o.dirtyKeys)
+		for _, p := range o.pages {
+			bufpool.Put(p.Data)
+		}
 	}
 	c.dirtyPages.Add(-int64(discardedDirty))
 	c.invals.Add(uint64(len(c.objects)))

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/bufpool"
 	"repro/internal/cache"
 	"repro/internal/checker"
 	"repro/internal/core"
@@ -90,6 +91,16 @@ type handleInfo struct {
 type sanPending struct {
 	cb    func(reply msg.Message, errno msg.Errno)
 	timer sim.Timer
+	// tries counts retransmissions. buf (set for flush writes whose
+	// payload lives in a pooled buffer) is recycled on acknowledgment
+	// ONLY when tries is still zero: once a retransmission exists, a
+	// duplicate delivery may sit in a disk's deferred service queue — or
+	// a second writev may be in flight — still aliasing the buffer, so
+	// the pool never gets it back (the garbage collector does). A plain
+	// slice rather than a release closure: flushing allocates nothing
+	// per page beyond the message itself.
+	tries int
+	buf   []byte
 }
 
 // Client is one file-system client node.
@@ -391,9 +402,17 @@ func (c *Client) call(req msg.Request, cb core.ReplyCallback) {
 
 func (c *Client) sanCall(d msg.NodeID, build func(req msg.ReqID) msg.Message,
 	cb func(reply msg.Message, errno msg.Errno)) {
+	c.sanCallBuf(d, build, nil, cb)
+}
+
+// sanCallBuf is sanCall for requests whose payload lives in a pooled
+// buffer: buf (if non-nil) is returned to the pool when the call is
+// acknowledged without ever having been retransmitted. See sanPending.
+func (c *Client) sanCallBuf(d msg.NodeID, build func(req msg.ReqID) msg.Message,
+	buf []byte, cb func(reply msg.Message, errno msg.Errno)) {
 	c.nextSANReq++
 	id := c.nextSANReq
-	p := &sanPending{cb: cb}
+	p := &sanPending{cb: cb, buf: buf}
 	c.sanCalls[id] = p
 	var transmit func()
 	transmit = func() {
@@ -405,6 +424,7 @@ func (c *Client) sanCall(d msg.NodeID, build func(req msg.ReqID) msg.Message,
 			if c.sanCalls[id] != p {
 				return
 			}
+			p.tries++
 			transmit()
 		})
 	}
@@ -433,9 +453,16 @@ func (c *Client) completeSAN(req msg.ReqID, reply msg.Message, errno msg.Errno) 
 	if p.cb != nil {
 		p.cb(reply, errno)
 	}
+	if p.buf != nil && p.tries == 0 {
+		bufpool.Put(p.buf)
+	}
 }
 
 func (c *Client) cancelSAN() {
+	// Cancellation never runs release hooks: a cancelled request's send
+	// (or a duplicate in a disk's service queue) may still alias the
+	// payload buffer, so recycling it here could corrupt an in-flight
+	// write. The buffers are simply garbage.
 	for id, p := range c.sanCalls {
 		delete(c.sanCalls, id)
 		if p.timer != nil {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/msg"
 	"repro/internal/trace"
 )
@@ -140,9 +141,12 @@ func (c *Client) collectDirty(ino msg.ObjectID) []flushItem {
 			continue
 		}
 		ref := o.Blocks[idx]
+		// data ALIASES the live cache page. flushItems copies it into the
+		// outgoing payload buffer in this same executor turn, before any
+		// operation can re-dirty the page in place.
 		items = append(items, flushItem{
 			ino: ino, idx: idx, disk: ref.Disk, num: ref.Num,
-			ver: p.Ver, data: append([]byte(nil), p.Data...),
+			ver: p.Ver, data: p.Data,
 		})
 	}
 	return items
@@ -214,10 +218,16 @@ func (c *Client) flushItems(items []flushItem, done func()) {
 			queue = queue[n:]
 			remaining++
 			if len(chunk) == 1 {
+				// Scalar write. The item's data aliases the live cache
+				// page, which cache.Write may re-dirty in place while the
+				// write is in flight — snapshot it into a pooled buffer,
+				// returned on un-retransmitted acknowledgment.
 				it := chunk[0]
-				c.sanCall(d, func(req msg.ReqID) msg.Message {
-					return &msg.DiskWrite{Client: c.id, Req: req, Block: it.num, Data: it.data, Ver: it.ver}
-				}, func(reply msg.Message, errno msg.Errno) {
+				buf := bufpool.Get(len(it.data))
+				copy(buf, it.data)
+				c.sanCallBuf(d, func(req msg.ReqID) msg.Message {
+					return &msg.DiskWrite{Client: c.id, Req: req, Block: it.num, Data: buf, Ver: it.ver}
+				}, buf, func(reply msg.Message, errno msg.Errno) {
 					if errno == msg.OK {
 						c.flushCommitted(it)
 					}
@@ -227,14 +237,14 @@ func (c *Client) flushItems(items []flushItem, done func()) {
 			}
 			chunk = append([]flushItem(nil), chunk...)
 			vecs := make([]msg.BlockVec, len(chunk))
-			payload := make([]byte, len(chunk)*BlockSize)
+			payload := bufpool.Get(len(chunk) * BlockSize)
 			for i, it := range chunk {
 				vecs[i] = msg.BlockVec{Block: it.num, Ver: it.ver}
 				copy(payload[i*BlockSize:(i+1)*BlockSize], it.data)
 			}
-			c.sanCall(d, func(req msg.ReqID) msg.Message {
+			c.sanCallBuf(d, func(req msg.ReqID) msg.Message {
 				return &msg.DiskWriteV{Client: c.id, Req: req, Blocks: vecs, Data: payload}
-			}, func(reply msg.Message, errno msg.Errno) {
+			}, payload, func(reply msg.Message, errno msg.Errno) {
 				res, _ := reply.(*msg.DiskWriteVRes)
 				for i, it := range chunk {
 					ok := errno == msg.OK

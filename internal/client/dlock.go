@@ -41,7 +41,9 @@ func (c *Client) dlockRead(ino msg.ObjectID, idx uint64, cb DataCallback) {
 					}
 					res := reply.(*msg.DiskReadRes)
 					c.oracle.Read(c.id, ino, idx, res.Ver)
-					done(res.Data, msg.OK)
+					// res.Data may alias a pooled receive buffer; the
+					// callback keeps the data past this handler.
+					done(append([]byte(nil), res.Data...), msg.OK)
 				})
 			})
 		})

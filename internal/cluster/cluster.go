@@ -201,15 +201,34 @@ func New(opts Options) *Cluster {
 	return cl
 }
 
-// observeNetworks counts message traffic per network and kind.
+// observeNetworks counts message traffic per network and kind. The
+// observer runs once per simulated message, so the counter handles are
+// resolved up front (the Kind space is a small enum) — building the
+// counter name per event would put two string concatenations and a
+// mutex-guarded map lookup on the simulator's hottest path.
 func (cl *Cluster) observeNetworks() {
 	count := func(net string) func(simnet.Event) {
+		var sent, delivered [msg.KindLeaseAdmin + 1]*stats.Counter
+		for k := msg.KindControlReq; k <= msg.KindLeaseAdmin; k++ {
+			sent[k] = cl.Reg.Counter(net + ".sent." + k.String())
+			delivered[k] = cl.Reg.Counter(net + ".delivered." + k.String())
+		}
+		bytes := cl.Reg.Counter(net + ".bytes")
 		return func(e simnet.Event) {
-			kind := e.Env.Payload.Kind().String()
-			cl.Reg.Counter(net + ".sent." + kind).Inc()
-			cl.Reg.Counter(net + ".bytes").Add(uint64(e.Env.Payload.Size()))
+			k := e.Env.Payload.Kind()
+			if int(k) >= len(sent) || sent[k] == nil {
+				// Unknown kind (future enum growth): fall back to the slow path.
+				cl.Reg.Counter(net + ".sent." + k.String()).Inc()
+				bytes.Add(uint64(e.Env.Payload.Size()))
+				if e.Delivered {
+					cl.Reg.Counter(net + ".delivered." + k.String()).Inc()
+				}
+				return
+			}
+			sent[k].Inc()
+			bytes.Add(uint64(e.Env.Payload.Size()))
 			if e.Delivered {
-				cl.Reg.Counter(net + ".delivered." + kind).Inc()
+				delivered[k].Inc()
 			}
 		}
 	}

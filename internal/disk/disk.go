@@ -21,6 +21,12 @@ import (
 // BlockSize is the data block size used throughout the installation.
 const BlockSize = blockstore.BlockSize
 
+// zeroBlock serves every hole read (a block never written). It is shared
+// and read-only by contract: everything downstream of a DiskReadRes
+// either copies the data or treats it as immutable, so handing out one
+// block of zeros replaces a fresh 4 KiB allocation per hole read.
+var zeroBlock = make([]byte, BlockSize)
+
 // Sender transmits a message on the SAN.
 type Sender func(to msg.NodeID, m msg.Message)
 
@@ -208,13 +214,18 @@ func (d *Disk) Deliver(env msg.Envelope) {
 	case *msg.DiskRead:
 		d.withService(func() { d.read(m) })
 	case *msg.DiskWrite:
-		d.withService(func() { d.write(m) })
+		// The write payload may alias a borrowed receive buffer, and
+		// withService can defer execution past the handler's return —
+		// retain the borrow until the media has consumed the data.
+		env.Retain()
+		d.withService(func() { d.write(m); env.Release() })
 	case *msg.DiskReadV:
 		// A vectored batch occupies ONE service slot: the actuator pays one
 		// seek for the whole transfer, which is the point of scatter-gather.
 		d.withService(func() { d.readV(m) })
 	case *msg.DiskWriteV:
-		d.withService(func() { d.writeV(m) })
+		env.Retain()
+		d.withService(func() { d.writeV(m); env.Release() })
 	case *msg.FenceSet:
 		// Fencing is a control operation: no media access, no service time.
 		d.fence(m)
@@ -268,7 +279,7 @@ func (d *Disk) read(m *msg.DiskRead) {
 			res.Data = data
 			res.Ver = ver
 		default:
-			res.Data = make([]byte, BlockSize) // unwritten blocks read as zeros
+			res.Data = zeroBlock // unwritten blocks read as zeros
 		}
 		if res.Err == msg.OK && d.obs.Served != nil {
 			d.obs.Served(d.id, m.Block, res.Ver, m.Client)
@@ -466,7 +477,9 @@ func (d *Disk) PeekBlock(block uint64) (data []byte, ver uint64, ok bool) {
 	if err != nil || !ok {
 		return nil, 0, false
 	}
-	return data, ver, true
+	// Media may return its internal buffer (read-only contract); PeekBlock
+	// promises a copy the caller owns.
+	return append([]byte(nil), data...), ver, true
 }
 
 // --- GFS-baseline dlocks ----------------------------------------------------

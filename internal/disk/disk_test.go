@@ -242,13 +242,21 @@ func TestWriteIsCopied(t *testing.T) {
 	if data[0] != 'a' {
 		t.Fatal("disk aliased the writer's buffer")
 	}
-	// Reads must also return copies.
+	// Reads return the media's buffer under a read-only contract: the
+	// slice must stay stable (a snapshot) even after the block is
+	// rewritten, because a rewrite installs a fresh buffer.
 	r.deliver(&msg.DiskRead{Client: 1, Req: 2, Block: 0})
 	res := r.last().(*msg.DiskReadRes)
-	res.Data[0] = 'Q'
+	snapshot := res.Data
+	r.deliver(&msg.DiskWrite{Client: 1, Req: 3, Block: 0, Data: []byte("xyz")})
+	if snapshot[0] != 'a' {
+		t.Fatal("rewriting the block mutated a previously returned read buffer")
+	}
+	// PeekBlock promises a caller-owned copy.
 	data, _, _ = r.d.PeekBlock(0)
-	if data[0] != 'a' {
-		t.Fatal("disk handed out its internal buffer")
+	data[0] = 'Q'
+	if again, _, _ := r.d.PeekBlock(0); again[0] != 'x' {
+		t.Fatal("PeekBlock handed out a shared buffer")
 	}
 }
 

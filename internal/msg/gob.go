@@ -4,28 +4,14 @@ import "encoding/gob"
 
 // RegisterGob registers every concrete message and result type with
 // encoding/gob so the live TCP transport can encode Envelope payloads and
-// Reply bodies through their interface types. Safe to call more than once
+// Reply bodies through their interface types. The type list is the shared
+// registry in AllMessages/AllResults. Safe to call more than once
 // (gob.Register is idempotent for identical name/type pairs).
 func RegisterGob() {
-	for _, v := range []any{
-		// Requests.
-		&Rejoin{}, &KeepAlive{}, &Lookup{}, &Create{}, &Unlink{}, &Open{},
-		&Close{}, &GetAttr{}, &SetAttr{}, &Readdir{}, &GetBlocks{},
-		&AllocBlocks{}, &LockAcquire{}, &LockRelease{}, &LockDowngraded{},
-		&Heartbeat{}, &RenewObjects{}, &FuncRead{}, &FuncWrite{}, &Reassert{},
-		&Rename{}, &Truncate{},
-		// Replies and results.
-		&Reply{}, LookupRes{}, CreateRes{}, OpenRes{}, AttrRes{},
-		ReaddirRes{}, BlocksRes{}, AllocRes{}, LockRes{}, RejoinRes{}, ReassertRes{},
-		FuncReadRes{},
-		// Server-initiated.
-		&Demand{}, &DemandAck{},
-		// SAN.
-		&DiskRead{}, &DiskReadRes{}, &DiskWrite{}, &DiskWriteRes{},
-		&DiskWriteV{}, &DiskWriteVRes{}, &DiskReadV{}, &DiskReadVRes{},
-		&FenceSet{}, &FenceRes{}, &DLockAcquire{}, &DLockRelease{},
-		&DLockRes{},
-	} {
-		gob.Register(v)
+	for _, m := range AllMessages() {
+		gob.Register(m)
+	}
+	for _, r := range AllResults() {
+		gob.Register(r)
 	}
 }

@@ -172,8 +172,13 @@ type Message interface {
 	Size() int
 }
 
-// Envelope is a message in flight.
+// Envelope is a message in flight. The unexported borrow field tracks
+// ownership of pooled buffers the payload may alias (see Borrowed); it
+// rides along when the envelope is copied by value and is invisible to
+// gob.
 type Envelope struct {
 	From, To NodeID
 	Payload  Message
+
+	borrow *borrowCell
 }

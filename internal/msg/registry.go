@@ -1,0 +1,38 @@
+package msg
+
+// AllMessages returns one zero-valued instance of every concrete message
+// type that can travel in an Envelope. It is the canonical registry both
+// codecs build on: gob registration iterates it, and the binary codec's
+// exhaustiveness tests round-trip every entry — adding a message type
+// without teaching the binary codec about it fails the msg test suite,
+// not a live connection.
+func AllMessages() []Message {
+	return []Message{
+		// Requests.
+		&Rejoin{}, &KeepAlive{}, &Lookup{}, &Create{}, &Unlink{}, &Rename{},
+		&Truncate{}, &Open{}, &Close{}, &GetAttr{}, &SetAttr{}, &Readdir{},
+		&GetBlocks{}, &AllocBlocks{}, &LockAcquire{}, &LockRelease{},
+		&LockDowngraded{}, &Reassert{}, &Heartbeat{}, &RenewObjects{},
+		&FuncRead{}, &FuncWrite{},
+		// Replies.
+		&Reply{},
+		// Server-initiated.
+		&Demand{}, &DemandAck{},
+		// SAN.
+		&DiskRead{}, &DiskReadRes{}, &DiskWrite{}, &DiskWriteRes{},
+		&DiskWriteV{}, &DiskWriteVRes{}, &DiskReadV{}, &DiskReadVRes{},
+		&FenceSet{}, &FenceRes{}, &DLockAcquire{}, &DLockRelease{},
+		&DLockRes{},
+	}
+}
+
+// AllResults returns one zero-valued instance of every concrete Result
+// type a Reply body can carry (the registry for the nested result layer
+// of both codecs).
+func AllResults() []Result {
+	return []Result{
+		LookupRes{}, CreateRes{}, OpenRes{}, AttrRes{}, ReaddirRes{},
+		BlocksRes{}, AllocRes{}, LockRes{}, RejoinRes{}, ReassertRes{},
+		FuncReadRes{},
+	}
+}

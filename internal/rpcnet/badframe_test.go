@@ -1,0 +1,148 @@
+package rpcnet
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// dialRawBinary opens a raw TCP connection to addr and performs the
+// binary-codec preamble + hello by hand, so the test controls every
+// subsequent byte on the wire.
+func dialRawBinary(t *testing.T, addr string, from msg.NodeID) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	var hello [5]byte
+	hello[0] = 1<<4 | uint8(wire.Binary) // preamble: version 1, binary
+	binary.BigEndian.PutUint32(hello[1:], uint32(int32(from)))
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// waitForNote polls the ring until an EvTransport note about peer
+// matches want, or fails after two seconds.
+func waitForNote(t *testing.T, ring *trace.Ring, peer msg.NodeID, want string) trace.Event {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ev := range ring.Events() {
+			if ev.Type == trace.EvTransport && ev.Peer == peer && strings.Contains(ev.Note, want) {
+				return ev
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no EvTransport note containing %q for peer %v; events: %+v",
+		want, peer, ring.Events())
+	return trace.Event{}
+}
+
+// TestCorruptFrameTraceDistinguishesPeerClose is the regression test
+// for the ErrBadFrame/io.EOF split: a peer that sends protocol damage
+// must be reported as a corrupt frame, and a peer that goes away must
+// be reported as a closed connection — previously both surfaced as the
+// same generic read error, so chaos traces blamed "peer restart" for
+// what was actually frame corruption.
+func TestCorruptFrameTraceDistinguishesPeerClose(t *testing.T) {
+	ring := trace.NewRing(1 << 10)
+	tr := New(99, nil, func(env msg.Envelope) {})
+	tr.SetTracer(trace.New(ring))
+	addr, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tr.Run()
+	t.Cleanup(tr.Close)
+
+	// Peer 55 sends an impossible length prefix after a valid handshake.
+	corrupt := dialRawBinary(t, addr.String(), 55)
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(wire.MaxFrame+7))
+	if _, err := corrupt.Write(lenb[:]); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitForNote(t, ring, 55, "corrupt frame")
+	if strings.Contains(ev.Note, "connection closed") {
+		t.Fatalf("corrupt frame misreported as a peer close: %q", ev.Note)
+	}
+
+	// Peer 56 hangs up cleanly after the handshake.
+	closer := dialRawBinary(t, addr.String(), 56)
+	// Give the acceptor a moment to register the peer before the close
+	// races the hello read.
+	waitForNote(t, ring, 56, "accepted")
+	closer.Close()
+	ev = waitForNote(t, ring, 56, "connection closed")
+	if strings.Contains(ev.Note, "corrupt frame") {
+		t.Fatalf("peer close misreported as frame corruption: %q", ev.Note)
+	}
+
+	// And the corrupt peer was never blamed for a clean close.
+	for _, ev := range ring.Events() {
+		if ev.Peer == 55 && strings.Contains(ev.Note, "connection closed") {
+			t.Fatalf("corrupt peer also reported as clean close: %q", ev.Note)
+		}
+	}
+}
+
+// TestCorruptFrameDropsOnlyThatConnection: frame damage on one
+// connection must not disturb traffic on another — the transport drops
+// the damaged connection and keeps serving.
+func TestCorruptFrameDropsOnlyThatConnection(t *testing.T) {
+	got := make(chan msg.Envelope, 16)
+	tr := New(99, nil, func(env msg.Envelope) { got <- env })
+	addr, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tr.Run()
+	t.Cleanup(tr.Close)
+
+	// A healthy peer using the real codec.
+	healthyConn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { healthyConn.Close() })
+	healthy, err := wire.Dial(healthyConn, wire.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.SendHello(60); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt peer: valid handshake, then garbage.
+	corrupt := dialRawBinary(t, addr.String(), 61)
+	corrupt.Write([]byte{0, 0, 0, 12, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	// The healthy peer's traffic still flows after the corrupt drop.
+	want := &msg.KeepAlive{ReqHeader: msg.ReqHeader{Client: 60, Req: 77}}
+	deadline := time.After(2 * time.Second)
+	for {
+		if err := healthy.Send(&msg.Envelope{From: 60, To: 99, Payload: want}); err != nil {
+			t.Fatalf("healthy connection broken by another peer's corruption: %v", err)
+		}
+		select {
+		case env := <-got:
+			if ka, ok := env.Payload.(*msg.KeepAlive); ok && ka.Req == 77 {
+				return
+			}
+		case <-deadline:
+			t.Fatal("keep-alive never delivered after corrupt-frame drop")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -89,7 +89,13 @@ func newSANClient(t *testing.T, self msg.NodeID, diskAddr string) *sanClient {
 	t.Helper()
 	c := &sanClient{replies: make(chan msg.Message, 64)}
 	c.tr = New(self, map[msg.NodeID]string{crashDiskID: diskAddr},
-		func(env msg.Envelope) { c.replies <- env.Payload })
+		func(env msg.Envelope) {
+			// The harness keeps payloads (and their data slices) past the
+			// handler's return; retaining the borrow keeps any pooled
+			// receive buffer they alias out of circulation for good.
+			env.Retain()
+			c.replies <- env.Payload
+		})
 	go c.tr.Run()
 	t.Cleanup(c.tr.Close)
 	return c

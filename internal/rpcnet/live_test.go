@@ -301,25 +301,47 @@ func TestLiveTraceTheorem31(t *testing.T) {
 }
 
 func TestWireCodecRoundTrip(t *testing.T) {
-	a, b := newPipe(t)
-	ca, cb := wire.NewCodec(a), wire.NewCodec(b)
-	go func() {
-		ca.SendHello(7)
-		ca.Send(&msg.Envelope{From: 7, To: 1, Payload: &msg.KeepAlive{
-			ReqHeader: msg.ReqHeader{Client: 7, Req: 3, Epoch: 2},
-		}})
-	}()
-	from, err := cb.RecvHello()
-	if err != nil || from != 7 {
-		t.Fatalf("hello: %v %v", from, err)
-	}
-	env, err := cb.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ka, ok := env.Payload.(*msg.KeepAlive)
-	if !ok || ka.Req != 3 || ka.Epoch != 2 {
-		t.Fatalf("payload = %#v", env.Payload)
+	for _, id := range []wire.ID{wire.Gob, wire.Binary} {
+		t.Run(id.String(), func(t *testing.T) {
+			a, b := newPipe(t)
+			type accepted struct {
+				c   wire.Codec
+				err error
+			}
+			ch := make(chan accepted, 1)
+			go func() {
+				c, err := wire.Accept(b)
+				ch <- accepted{c, err}
+			}()
+			ca, err := wire.Dial(a, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := <-ch
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			cb := r.c
+			go func() {
+				ca.SendHello(7)
+				ca.Send(&msg.Envelope{From: 7, To: 1, Payload: &msg.KeepAlive{
+					ReqHeader: msg.ReqHeader{Client: 7, Req: 3, Epoch: 2},
+				}})
+			}()
+			from, err := cb.RecvHello()
+			if err != nil || from != 7 {
+				t.Fatalf("hello: %v %v", from, err)
+			}
+			env, err := cb.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ka, ok := env.Payload.(*msg.KeepAlive)
+			if !ok || ka.Req != 3 || ka.Epoch != 2 {
+				t.Fatalf("payload = %#v", env.Payload)
+			}
+			env.Release()
+		})
 	}
 }
 

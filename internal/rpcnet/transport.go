@@ -14,6 +14,7 @@
 package rpcnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -36,10 +37,15 @@ type Transport struct {
 	addrs map[msg.NodeID]string
 
 	mu       sync.Mutex
-	conns    map[msg.NodeID]*wire.Codec
+	conns    map[msg.NodeID]wire.Codec
 	dials    map[msg.NodeID]*dialCall
 	listener net.Listener
 	closed   bool
+
+	// codec is the wire encoding this node announces when IT dials; the
+	// acceptor side of every connection adopts the dialer's choice, so
+	// mixed-codec installations interoperate per connection.
+	codec wire.ID
 
 	// exec serializes every handler and timer callback; submitFn, when
 	// set by UseExecutor, reroutes to a shared executor instead.
@@ -71,17 +77,24 @@ func New(self msg.NodeID, addrs map[msg.NodeID]string, handler func(env msg.Enve
 	t := &Transport{
 		self:    self,
 		addrs:   addrs,
-		conns:   make(map[msg.NodeID]*wire.Codec),
+		conns:   make(map[msg.NodeID]wire.Codec),
 		dials:   make(map[msg.NodeID]*dialCall),
 		exec:    NewExecutor(),
 		handler: handler,
 		dialFn:  func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 		logf:    func(string, ...any) {},
+		codec:   wire.Binary,
 	}
 	t.clock = sim.NewRealClock(t.Submit)
 	t.delayClock = sim.NewRealClock(nil)
 	return t
 }
+
+// SetCodec selects the wire encoding this transport uses for outbound
+// dials (default wire.Binary). Inbound connections always adopt the
+// dialer's announced codec regardless of this setting. Call before
+// traffic flows.
+func (t *Transport) SetCodec(c wire.ID) { t.codec = c }
 
 // SetClock overrides the clock that times fault-injected send latency
 // (default: a wall clock firing on the timer goroutine). Call before
@@ -192,7 +205,12 @@ func (t *Transport) acceptLoop(l net.Listener) {
 }
 
 func (t *Transport) handleInbound(conn net.Conn) {
-	codec := wire.NewCodec(conn)
+	codec, err := wire.Accept(conn)
+	if err != nil {
+		t.debugf(0, "inbound preamble from %v failed: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
 	from, err := codec.RecvHello()
 	if err != nil {
 		t.debugf(0, "inbound hello from %v failed: %v", conn.RemoteAddr(), err)
@@ -206,7 +224,7 @@ func (t *Transport) handleInbound(conn net.Conn) {
 
 // register installs the connection for outbound traffic to the peer,
 // replacing (and closing) any previous one.
-func (t *Transport) register(peer msg.NodeID, codec *wire.Codec) {
+func (t *Transport) register(peer msg.NodeID, codec wire.Codec) {
 	t.mu.Lock()
 	old := t.conns[peer]
 	t.conns[peer] = codec
@@ -216,7 +234,7 @@ func (t *Transport) register(peer msg.NodeID, codec *wire.Codec) {
 	}
 }
 
-func (t *Transport) dropConn(peer msg.NodeID, codec *wire.Codec) {
+func (t *Transport) dropConn(peer msg.NodeID, codec wire.Codec) {
 	t.mu.Lock()
 	if t.conns[peer] == codec {
 		delete(t.conns, peer)
@@ -225,22 +243,39 @@ func (t *Transport) dropConn(peer msg.NodeID, codec *wire.Codec) {
 	codec.Close()
 }
 
-func (t *Transport) readLoop(peer msg.NodeID, codec *wire.Codec) {
+func (t *Transport) readLoop(peer msg.NodeID, codec wire.Codec) {
 	for {
 		env, err := codec.Recv()
 		if err != nil {
-			t.debugf(peer, "read from %v: %v", peer, err)
+			// A typed bad frame is protocol damage — corrupt framing, a
+			// codec bug, a garbage-injecting middlebox — and is reported as
+			// such; everything else (io.EOF above all) is the peer going
+			// away, the ordinary redial case. Conflating them made chaos
+			// traces blame "peer restart" for what was really frame
+			// corruption.
+			if errors.Is(err, wire.ErrBadFrame) {
+				t.debugf(peer, "read from %v: dropping connection on corrupt frame: %v", peer, err)
+			} else {
+				t.debugf(peer, "read from %v: connection closed: %v", peer, err)
+			}
 			t.dropConn(peer, codec)
 			return
 		}
 		if f := t.faults.Load(); f != nil {
 			if v := f.JudgeRecv(env.From, t.self); !v.Deliver {
 				t.dropInjected(env.From, v.Reason, "recv")
+				env.Release()
 				continue
 			}
 		}
 		e := *env
-		t.Submit(func() { t.handler(e) })
+		t.Submit(func() {
+			t.handler(e)
+			// The handler's return ends the borrow on any pooled receive
+			// buffer the payload aliases; handlers that defer work past
+			// this point (disk service queues) Retain first.
+			e.Release()
+		})
 	}
 }
 
@@ -280,7 +315,7 @@ func (t *Transport) Send(to msg.NodeID, m msg.Message) {
 // done instead of dialing again.
 type dialCall struct {
 	done  chan struct{}
-	codec *wire.Codec
+	codec wire.Codec
 	err   error
 }
 
@@ -289,7 +324,7 @@ type dialCall struct {
 // an unconnected peer would both dial, the loser's connection would be
 // closed by register, and its in-flight message silently lost even
 // though the network was healthy.
-func (t *Transport) connTo(peer msg.NodeID) (*wire.Codec, error) {
+func (t *Transport) connTo(peer msg.NodeID) (wire.Codec, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[peer]; ok {
 		t.mu.Unlock()
@@ -321,13 +356,18 @@ func (t *Transport) connTo(peer msg.NodeID) (*wire.Codec, error) {
 	return dc.codec, dc.err
 }
 
-// dial establishes, hellos, and registers one outbound connection.
-func (t *Transport) dial(peer msg.NodeID, addr string) (*wire.Codec, error) {
+// dial establishes, negotiates, hellos, and registers one outbound
+// connection (preamble announcing this node's codec, then the hello).
+func (t *Transport) dial(peer msg.NodeID, addr string) (wire.Codec, error) {
 	conn, err := t.dialFn(addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: dial %v (%s): %w", peer, addr, err)
 	}
-	codec := wire.NewCodec(conn)
+	codec, err := wire.Dial(conn, t.codec)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	if err := codec.SendHello(t.self); err != nil {
 		conn.Close()
 		return nil, err
@@ -347,7 +387,7 @@ func (t *Transport) Close() {
 	t.closed = true
 	l := t.listener
 	conns := t.conns
-	t.conns = make(map[msg.NodeID]*wire.Codec)
+	t.conns = make(map[msg.NodeID]wire.Codec)
 	t.mu.Unlock()
 	if l != nil {
 		l.Close()

@@ -93,6 +93,10 @@ func (s *Server) funcRead(client msg.NodeID, id msg.ReqID, m *msg.FuncRead) {
 		if len(data) > n {
 			data = data[:n]
 		}
+		// DiskReadRes.Data may alias a pooled receive buffer that is
+		// recycled when this handler returns; the reply is sent
+		// asynchronously, so it needs its own copy.
+		data = append([]byte(nil), data...)
 		s.dataBytes.Add(uint64(len(data)))
 		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.OK,
 			Body: msg.FuncReadRes{Data: data}})

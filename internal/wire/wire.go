@@ -1,7 +1,11 @@
-// Package wire is the live deployment's message encoding: gob streams of
-// msg.Envelope over TCP connections. One Codec wraps one connection; gob
-// transmits type information once per stream, so long-lived node-to-node
-// connections are cheap.
+// Package wire is the live deployment's message encoding. A Codec frames
+// msg.Envelope traffic over one TCP connection; two implementations
+// exist — the hand-rolled fixed-layout binary codec (the default, see
+// DESIGN.md §12) and the original gob stream (the fallback) — selected
+// per connection by a one-byte version/codec preamble the dialer writes
+// before anything else. The acceptor adopts the dialer's choice, so
+// nodes configured with different codecs interoperate: each connection
+// speaks whatever its dialer asked for, replies included.
 //
 // The transport above this (internal/rpcnet) preserves the protocol's
 // datagram assumptions: sends are best-effort, a broken connection just
@@ -12,7 +16,9 @@ package wire
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -21,21 +27,118 @@ import (
 
 func init() { msg.RegisterGob() }
 
-// Codec frames envelopes over one connection.
-type Codec struct {
+// ErrBadFrame reports traffic that violates the framing or codec layer:
+// an unparseable frame, an impossible length prefix, or an unknown
+// negotiation preamble. It is distinct from io.EOF — a peer that went
+// away — so the transport can report protocol damage as what it is
+// instead of a peer restart. Both end with the connection dropped.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// Codec frames envelopes over one connection. Send is safe for
+// concurrent use; Recv is not (one reader goroutine per connection).
+// A Recv'd envelope whose payload aliases a pooled receive buffer
+// carries a borrow (msg.Envelope.Borrowed); the consumer releases it.
+type Codec interface {
+	Send(env *msg.Envelope) error
+	Recv() (*msg.Envelope, error)
+	// SendHello/RecvHello exchange the identification frame that opens
+	// every dialed connection: the dialer's node ID, so the acceptor can
+	// route return traffic over the same connection.
+	SendHello(from msg.NodeID) error
+	RecvHello() (msg.NodeID, error)
+	Close() error
+	RemoteAddr() net.Addr
+}
+
+// ID selects a codec implementation. The values appear on the wire (low
+// nibble of the negotiation preamble) and must never be renumbered.
+type ID uint8
+
+const (
+	// Gob is the original encoding/gob stream codec.
+	Gob ID = 0
+	// Binary is the fixed-layout zero-copy codec (the default).
+	Binary ID = 1
+)
+
+func (c ID) String() string {
+	switch c {
+	case Gob:
+		return "gob"
+	case Binary:
+		return "binary"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// ParseID resolves a codec name ("gob", "binary") as used by the tankd
+// -codec flag and the WithWireCodec facade option.
+func ParseID(name string) (ID, error) {
+	switch name {
+	case "gob":
+		return Gob, nil
+	case "binary":
+		return Binary, nil
+	}
+	return 0, fmt.Errorf("wire: unknown codec %q (want gob or binary)", name)
+}
+
+// wireVersion is the protocol revision carried in the preamble's high
+// nibble. Revision 1 introduced the preamble itself.
+const wireVersion = 1
+
+// Dial wraps the dialer side of an established connection: it writes the
+// one-byte negotiation preamble (version in the high nibble, codec in
+// the low) and returns the chosen codec. Nothing else may be written to
+// conn first.
+func Dial(conn net.Conn, codec ID) (Codec, error) {
+	pre := [1]byte{wireVersion<<4 | uint8(codec)&0x0f}
+	if _, err := conn.Write(pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: preamble: %w", err)
+	}
+	return newCodec(conn, codec)
+}
+
+// Accept wraps the acceptor side: it reads the dialer's preamble and
+// adopts the announced codec, so mixed-codec installations interoperate
+// connection by connection.
+func Accept(conn net.Conn) (Codec, error) {
+	var pre [1]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: preamble: %w", err)
+	}
+	if v := pre[0] >> 4; v != wireVersion {
+		return nil, fmt.Errorf("%w: preamble version %d (want %d)", ErrBadFrame, v, wireVersion)
+	}
+	return newCodec(conn, ID(pre[0]&0x0f))
+}
+
+func newCodec(conn net.Conn, codec ID) (Codec, error) {
+	switch codec {
+	case Gob:
+		return newGobCodec(conn), nil
+	case Binary:
+		return newBinaryCodec(conn), nil
+	}
+	return nil, fmt.Errorf("%w: preamble announces unknown codec %d", ErrBadFrame, uint8(codec))
+}
+
+// gobCodec is the fallback implementation: gob streams of msg.Envelope.
+// Gob transmits type information once per stream, so long-lived
+// node-to-node connections stay cheap; every payload is freshly
+// allocated on receive, so gob envelopes never carry a borrow.
+type gobCodec struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	wmu  sync.Mutex
 }
 
-// NewCodec wraps an established connection.
-func NewCodec(conn net.Conn) *Codec {
-	return &Codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+func newGobCodec(conn net.Conn) *gobCodec {
+	return &gobCodec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
-// Send encodes one envelope. Safe for concurrent use.
-func (c *Codec) Send(env *msg.Envelope) error {
+func (c *gobCodec) Send(env *msg.Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := c.enc.Encode(env); err != nil {
@@ -44,44 +147,40 @@ func (c *Codec) Send(env *msg.Envelope) error {
 	return nil
 }
 
-// Recv decodes the next envelope. Not safe for concurrent use (one reader
-// goroutine per connection).
-func (c *Codec) Recv() (*msg.Envelope, error) {
+func (c *gobCodec) Recv() (*msg.Envelope, error) {
 	var env msg.Envelope
 	if err := c.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("wire: decode: %w", err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: gob: %v", ErrBadFrame, err)
 	}
 	return &env, nil
 }
 
-// Close closes the underlying connection.
-func (c *Codec) Close() error { return c.conn.Close() }
+func (c *gobCodec) Close() error { return c.conn.Close() }
 
-// RemoteAddr reports the peer address.
-func (c *Codec) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+func (c *gobCodec) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
 
-// Hello is the first frame on every dialed connection: it announces the
-// dialer's node ID so the acceptor can route return traffic over the same
-// connection.
+// Hello is the identification frame the gob codec sends after the
+// preamble (the binary codec uses a raw 4-byte node ID instead).
 type Hello struct {
 	From msg.NodeID
 }
 
-// SendHello writes the identification frame.
-func (c *Codec) SendHello(from msg.NodeID) error {
+func (c *gobCodec) SendHello(from msg.NodeID) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.enc.Encode(&Hello{From: from})
 }
 
-// RecvHello reads the identification frame.
-func (c *Codec) RecvHello() (msg.NodeID, error) {
+func (c *gobCodec) RecvHello() (msg.NodeID, error) {
 	var h Hello
 	if err := c.dec.Decode(&h); err != nil {
 		return 0, fmt.Errorf("wire: hello: %w", err)
 	}
 	if h.From == msg.None {
-		return 0, fmt.Errorf("wire: hello with zero node id")
+		return 0, fmt.Errorf("%w: hello with zero node id", ErrBadFrame)
 	}
 	return h.From, nil
 }
