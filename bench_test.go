@@ -7,6 +7,7 @@ package storagetank
 // entire evaluation. Micro-benchmarks for the protocol hot paths follow.
 
 import (
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchExperiment runs experiment id b.N times and surfaces the chosen
@@ -323,6 +325,133 @@ func BenchmarkGroupCommit64Batched(b *testing.B) { benchGroupCommit(b, true) }
 
 // BenchmarkGroupCommit64PerBlock — 64 scalar Writes: two fsyncs each.
 func BenchmarkGroupCommit64PerBlock(b *testing.B) { benchGroupCommit(b, false) }
+
+// --- content-addressed cache & read-ahead benchmarks ------------------------
+
+// benchSeqScan measures a reader's cold 32-block sequential scan,
+// reporting the SAN messages one scan costs. With read-ahead the blocks
+// arrive in vectored batches; without it every block is a scalar
+// round trip. The simulator makes the number exact, so the bench gate
+// holds it to ±5%.
+func benchSeqScan(b *testing.B, prefetch int) {
+	const blocks = 32
+	cl := NewClusterWith(WithoutChecker(), WithPrefetch(prefetch))
+	cl.Start()
+	sc := cl.SyncClient(0)
+	h, _, err := sc.Open("/seq", true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, BlockSize)
+	for i := 0; i < blocks; i++ {
+		binary.BigEndian.PutUint64(data, uint64(i))
+		if err := sc.WriteAt(h, uint64(i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sc.SyncAll(); err != nil {
+		b.Fatal(err)
+	}
+	attr, err := sc.Lookup("/seq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sc.ReleaseLock(attr.Ino)
+
+	var msgs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A cold scan each iteration: drop the reader's cache and reopen
+		// so the object map is refetched.
+		cl.Clients[1].Cache().InvalidateAll()
+		hr, _ := cl.MustOpen(1, "/seq", false, false)
+		before := cl.Reg.CounterValue("net.san.sent.san-io")
+		for j := 0; j < blocks; j++ {
+			got, errno := cl.Read(1, hr, uint64(j))
+			if errno != msg.OK {
+				b.Fatal(errno)
+			}
+			if binary.BigEndian.Uint64(got) != uint64(j) {
+				b.Fatalf("block %d content wrong", j)
+			}
+		}
+		msgs += float64(cl.Reg.CounterValue("net.san.sent.san-io") - before)
+	}
+	b.ReportMetric(msgs/float64(b.N), "san_reads/scan")
+}
+
+// BenchmarkSeqScanPrefetch — the default read-ahead window (3): the scan
+// rides vectored batches.
+func BenchmarkSeqScanPrefetch(b *testing.B) { benchSeqScan(b, 3) }
+
+// BenchmarkSeqScanNoPrefetch — read-ahead disabled: one scalar SAN read
+// per block, the pre-prefetch baseline.
+func BenchmarkSeqScanNoPrefetch(b *testing.B) { benchSeqScan(b, 0) }
+
+// BenchmarkSharedHotFile runs the shared-hot-file workload (readers
+// scanning, one writer churning a small content alphabet) and reports
+// how much of the readers' working set the content-addressed cache
+// dedups away. The settle scan makes the ratio exact:
+// 16 pages sharing 4 contents → 0.75 of the bytes saved.
+func BenchmarkSharedHotFile(b *testing.B) {
+	cl := NewClusterWith(WithoutChecker())
+	cl.Start()
+	cfg := workload.DefaultHotFile()
+	cfg.Readers = []int{1, 2}
+	workload.PopulateHotFile(cl, cfg)
+	hf := workload.NewHotFile(cl, cfg)
+	hf.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.RunFor(time.Second)
+	}
+	b.StopTimer()
+	hf.Stop()
+
+	// Settle: a final cold scan on reader 1 pins the dedup ratio at a
+	// deterministic instant.
+	c1 := cl.Clients[1].Cache()
+	c1.InvalidateAll()
+	hr, _ := cl.MustOpen(1, workload.HotFilePath, false, false)
+	for j := 0; j < cfg.Blocks; j++ {
+		if _, errno := cl.Read(1, hr, uint64(j)); errno != msg.OK {
+			b.Fatal(errno)
+		}
+	}
+	pages := float64(c1.ResidentPages())
+	bytes := float64(c1.ResidentBytes())
+	if pages > 0 {
+		b.ReportMetric(1-bytes/(pages*float64(BlockSize)), "dedup_bytes_saved_ratio")
+	}
+	hits := float64(cl.Reg.CounterValue("client.n11.cache.prefetch_hits"))
+	wasted := float64(cl.Reg.CounterValue("client.n11.cache.prefetch_wasted"))
+	if hits+wasted > 0 {
+		b.ReportMetric(hits/(hits+wasted), "prefetch_hit_ratio")
+	}
+}
+
+// BenchmarkCachedReadHit measures the cached-read fast path end to end
+// (warm page, shared lock held): the allocation count here is gated, so
+// the hot path can't quietly regress.
+func BenchmarkCachedReadHit(b *testing.B) {
+	cl := NewClusterWith(WithoutChecker())
+	cl.Start()
+	h, _ := cl.MustOpen(0, "/hit", true, true)
+	data := make([]byte, BlockSize)
+	if errno := cl.Write(0, h, 0, data); errno != msg.OK {
+		b.Fatal(errno)
+	}
+	if _, errno := cl.Read(0, h, 0); errno != msg.OK {
+		b.Fatal(errno)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errno := cl.Read(0, h, 0); errno != msg.OK {
+			b.Fatal(errno)
+		}
+	}
+}
 
 func quickWorkload() WorkloadConfig {
 	cfg := DefaultWorkload()

@@ -15,16 +15,19 @@
 // Non-benchmark lines (PASS, ok, package headers) pass through to
 // stderr so a terminal run still shows the suite's progress.
 //
-// With -compare BASELINE.json the command also gates allocation
+// With -compare BASELINE.json the command also gates deterministic
 // regressions: for every benchmark present in both the baseline report
-// and the current stream, allocs/op and B/op may not exceed the
-// baseline by more than 5%. Any regression is listed and the exit
-// status is 1, so `make bench-gate` (and the CI bench job) fail loudly
-// when a change quietly reintroduces per-message allocations.
+// and the current stream, the lower-is-better metrics (allocs/op, B/op,
+// san_reads/scan) may not exceed the baseline by more than 5%, and the
+// higher-is-better cache-effectiveness ratios (dedup_bytes_saved_ratio,
+// prefetch_hit_ratio) may not drop more than 5% below it. Any
+// regression is listed and the exit status is 1, so `make bench-gate`
+// (and the CI bench job) fail loudly when a change quietly reintroduces
+// per-message allocations or erodes the cache's dedup or read-ahead.
 // Benchmarks that exist on only one side are ignored (new benchmarks
 // have no baseline; retired ones no current number), and timing metrics
-// are never gated — ns/op is hardware-noisy in CI, allocation counts
-// are deterministic.
+// are never gated — ns/op is hardware-noisy in CI, the gated counts and
+// ratios come out of the deterministic simulator.
 package main
 
 import (
@@ -119,9 +122,15 @@ func main() {
 	}
 }
 
-// gatedMetrics are the units the -compare gate enforces. Only
-// allocation behavior: deterministic per run, unlike wall-clock timing.
-var gatedMetrics = []string{"allocs/op", "B/op"}
+// gatedMetrics are the lower-is-better units the -compare gate enforces
+// as ceilings: allocation behavior and the simulated SAN cost of a
+// sequential scan — deterministic per run, unlike wall-clock timing.
+var gatedMetrics = []string{"allocs/op", "B/op", "san_reads/scan"}
+
+// flooredMetrics are the higher-is-better units the gate enforces as
+// floors: cache-effectiveness ratios the simulator computes exactly. A
+// drop below baseline/1.05 means dedup or read-ahead quietly regressed.
+var flooredMetrics = []string{"dedup_bytes_saved_ratio", "prefetch_hit_ratio"}
 
 // regressionSlack is how far above the baseline a gated metric may
 // drift before the gate fails (benchmarks with tiny absolute counts
@@ -158,6 +167,16 @@ func compareBaseline(path string, current []Result) ([]string, error) {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s %s: %.0f -> %.0f (+%.1f%%, gate is +5%%)",
 				cur.Name, unit, was, now, (now/was-1)*100))
+		}
+		for _, unit := range flooredMetrics {
+			was, okOld := old.Metrics[unit]
+			now, okNew := cur.Metrics[unit]
+			if !okOld || !okNew || now >= was/regressionSlack {
+				continue
+			}
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %.3f -> %.3f (-%.1f%%, floor is -5%%)",
+				cur.Name, unit, was, now, (1-now/was)*100))
 		}
 	}
 	return regressions, nil
@@ -199,6 +218,20 @@ func derive(results []Result) map[string]float64 {
 		"BenchmarkFlushDrain64PerPage", "BenchmarkFlushDrain64Batched", "sim_drain_ms")
 	ratio("flush64.fsync_reduction",
 		"BenchmarkGroupCommit64PerBlock", "BenchmarkGroupCommit64Batched", "fsyncs/flush")
+	// Read-ahead: how many fewer SAN messages a cold sequential scan
+	// costs with the default prefetch window.
+	if p, okP := metric("BenchmarkSeqScanPrefetch", "san_reads/scan"); okP {
+		if n, okN := metric("BenchmarkSeqScanNoPrefetch", "san_reads/scan"); okN && p > 0 {
+			out["seqscan32.san_reads_reduction"] = n / p
+			out["seqscan32.san_reads_reduction.prefetch"] = p
+			out["seqscan32.san_reads_reduction.no_prefetch"] = n
+		}
+	}
+	// Content dedup: the fraction of the hot-file working set's bytes the
+	// content-addressed cache shares away, surfaced as a headline number.
+	if d, ok := metric("BenchmarkSharedHotFile", "dedup_bytes_saved_ratio"); ok {
+		out["hotfile.dedup_bytes_saved_ratio"] = d
+	}
 	if len(out) == 0 {
 		return nil
 	}

@@ -65,6 +65,46 @@ func TestCompareBaselineIgnoresUnmatched(t *testing.T) {
 	}
 }
 
+func ratios(name string, dedup, prefetch float64) Result {
+	return Result{Name: name, Metrics: map[string]float64{
+		"dedup_bytes_saved_ratio": dedup, "prefetch_hit_ratio": prefetch}}
+}
+
+func TestCompareBaselineFloorsCacheRatios(t *testing.T) {
+	base := writeBaseline(t, []Result{ratios("BenchmarkSharedHotFile-8", 0.75, 0.9)})
+	// Within the floor: -4% dedup, improved prefetch.
+	regs, err := compareBaseline(base, []Result{ratios("BenchmarkSharedHotFile-8", 0.72, 0.95)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+	// Below the floor: both ratios eroded >5%.
+	regs, err = compareBaseline(base, []Result{ratios("BenchmarkSharedHotFile-8", 0.50, 0.70)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+}
+
+func TestCompareBaselineGatesSeqScanReads(t *testing.T) {
+	mk := func(reads float64) Result {
+		return Result{Name: "BenchmarkSeqScanPrefetch-8",
+			Metrics: map[string]float64{"san_reads/scan": reads}}
+	}
+	base := writeBaseline(t, []Result{mk(22)})
+	regs, err := compareBaseline(base, []Result{mk(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want the san_reads/scan ceiling", regs)
+	}
+}
+
 func TestCompareBaselineMissingFile(t *testing.T) {
 	if _, err := compareBaseline(filepath.Join(t.TempDir(), "nope.json"), nil); err == nil {
 		t.Fatal("missing baseline accepted")

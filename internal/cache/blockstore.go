@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"bytes"
+
+	"repro/internal/bufpool"
+)
+
+// The content store deduplicates CLEAN page content: pages whose bytes
+// are identical — across files, across block indexes, across fills —
+// share one pooled buffer. Dirty content never enters the store: a
+// dirty page's bytes are private to its object until they reach the SAN
+// (MarkClean), because dedup must never let one object's un-flushed
+// write become visible through another object's page.
+//
+// Ownership rules versus the bufpool borrow contract:
+//
+//   - A block owns its buffer. The buffer came from bufpool.Get and is
+//     returned by bufpool.Put exactly once, when the block's reference
+//     count drops to zero. Pages holding the block alias block.data and
+//     must never Put it themselves.
+//   - A dirty page owns a private pooled buffer (Page.blk == nil); the
+//     cache Puts it when the page is dropped, or hands it to the store
+//     when MarkClean promotes the content (internOwned — the store
+//     either adopts the buffer or Puts it on a dedup hit).
+//   - Readers in internal/client copy page content out before the end
+//     of the executor turn, exactly as before: sharing changes who may
+//     recycle a buffer, not when its content is stable.
+type block struct {
+	hash uint64
+	// data is a pooled buffer sized (by class) for its content; len is
+	// the exact content length.
+	data []byte
+	refs int
+}
+
+// fnv64a is FNV-1a, inlined so hashing a page allocates nothing.
+// Content addresses never leave the process and need no collision
+// resistance against adversaries: equal hashes are confirmed by a byte
+// compare before any sharing happens, so a collision costs a missed
+// dedup never a wrong read.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// intern returns a block holding a copy of data, sharing an existing
+// block when one with identical content is resident. The caller's data
+// may alias a transport receive buffer; it is copied before the turn
+// ends.
+func (c *Cache) intern(data []byte) *block {
+	h := fnv64a(data)
+	for _, b := range c.blocks[h] {
+		if len(b.data) == len(data) && bytes.Equal(b.data, data) {
+			b.refs++
+			c.dedupHits.Inc()
+			return b
+		}
+	}
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	b := &block{hash: h, data: buf, refs: 1}
+	c.blocks[h] = append(c.blocks[h], b)
+	c.addBytes(int64(len(buf)))
+	return b
+}
+
+// internOwned is intern for a buffer the caller already owns (a dirty
+// page being promoted by MarkClean): on a dedup hit the buffer is
+// recycled, otherwise the store adopts it without copying.
+func (c *Cache) internOwned(buf []byte) *block {
+	h := fnv64a(buf)
+	for _, b := range c.blocks[h] {
+		if len(b.data) == len(buf) && bytes.Equal(b.data, buf) {
+			b.refs++
+			c.dedupHits.Inc()
+			bufpool.Put(buf)
+			return b
+		}
+	}
+	b := &block{hash: h, data: buf, refs: 1}
+	c.blocks[h] = append(c.blocks[h], b)
+	c.addBytes(int64(len(buf)))
+	return b
+}
+
+// deref releases one page's reference; the last reference removes the
+// block from the store and recycles its buffer.
+func (c *Cache) deref(b *block) {
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	chain := c.blocks[b.hash]
+	for i, cand := range chain {
+		if cand == b {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(c.blocks, b.hash)
+	} else {
+		c.blocks[b.hash] = chain
+	}
+	c.addBytes(-int64(len(b.data)))
+	bufpool.Put(b.data)
+}
+
+// SharedBlocks returns the number of distinct content blocks resident
+// (tests and experiments: ResidentPages − SharedBlocks pages are served
+// without their own buffer).
+func (c *Cache) SharedBlocks() int {
+	n := 0
+	for _, chain := range c.blocks {
+		n += len(chain)
+	}
+	return n
+}

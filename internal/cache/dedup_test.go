@@ -1,0 +1,403 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// Regression: Fill over a dirty page must refuse — the dirty bytes are
+// an acknowledged write the SAN has not seen yet. The pre-fix Fill
+// replaced the page with clean SAN content while leaving dirtyKeys and
+// the dirty_pages gauge claiming a dirty page that no longer existed;
+// MarkClean then no-oped (the new page was !Dirty), so TotalDirty never
+// drained and phase-4 quiesce could spin forever. This test fails on
+// that code: the returned page is clean and holds the stale bytes.
+func TestFillOverDirtyRefused(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(reg, "r.")
+	c.Write(1, 0, []byte("fresh"), 5)
+	p := c.Fill(1, 0, []byte("stale"), 4)
+	if !p.Dirty || !bytes.Equal(p.Data, []byte("fresh")) {
+		t.Fatalf("Fill overwrote dirty content: page = %+v", p)
+	}
+	if got := c.Object(1).Page(0); !got.Dirty || !bytes.Equal(got.Data, []byte("fresh")) {
+		t.Fatalf("resident page lost the acknowledged write: %+v", got)
+	}
+	if c.TotalDirty() != 1 || reg.Gauge("r.cache.dirty_pages").Value() != 1 {
+		t.Fatalf("dirty accounting diverged: TotalDirty=%d gauge=%d",
+			c.TotalDirty(), reg.Gauge("r.cache.dirty_pages").Value())
+	}
+	// The flush path must still drain the page — this is what wedges when
+	// the bookkeeping desyncs.
+	c.MarkClean(1, 0)
+	if c.TotalDirty() != 0 || reg.Gauge("r.cache.dirty_pages").Value() != 0 {
+		t.Fatalf("dirty page never drained: TotalDirty=%d gauge=%d — phase-4 quiesce would spin",
+			c.TotalDirty(), reg.Gauge("r.cache.dirty_pages").Value())
+	}
+	if c.Object(1).Page(0).Dirty {
+		t.Fatal("page still flagged dirty after MarkClean")
+	}
+}
+
+// Identical clean content across objects shares one block; a write
+// copy-on-writes away from it without disturbing the other holder, and
+// dropping one object releases only its own references.
+func TestDedupSharesAndIsolates(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(reg, "d.")
+	content := bytes.Repeat([]byte("x"), 512)
+	c.Fill(1, 0, content, 1)
+	c.Fill(2, 5, content, 2)
+	if got := reg.CounterValue("d.cache.dedup_hits"); got != 1 {
+		t.Fatalf("dedup_hits = %d, want 1", got)
+	}
+	if c.SharedBlocks() != 1 || c.ResidentBytes() != 512 || c.ResidentPages() != 2 {
+		t.Fatalf("blocks=%d bytes=%d pages=%d, want 1/512/2",
+			c.SharedBlocks(), c.ResidentBytes(), c.ResidentPages())
+	}
+	// Copy-on-write: mutating (2,5) must not change (1,0)'s bytes.
+	other := bytes.Repeat([]byte("y"), 512)
+	c.Write(2, 5, other, 3)
+	if !bytes.Equal(c.Object(1).Page(0).Data, content) {
+		t.Fatal("write through a shared block corrupted the other holder")
+	}
+	if c.ResidentBytes() != 1024 {
+		t.Fatalf("bytes = %d after COW, want 1024", c.ResidentBytes())
+	}
+	// Per-object invalidation: dropping object 1 must not touch object
+	// 2's page (the lease protocol revokes per object).
+	c.Drop(1)
+	if got := c.Object(2).Page(5); got == nil || !bytes.Equal(got.Data, other) {
+		t.Fatal("dropping one object disturbed another holder")
+	}
+	if c.ResidentBytes() != 512 || c.ResidentPages() != 1 {
+		t.Fatalf("bytes=%d pages=%d after drop, want 512/1", c.ResidentBytes(), c.ResidentPages())
+	}
+}
+
+// MarkClean promotes a flushed page's private buffer into the content
+// store, deduplicating against already-resident identical content.
+func TestMarkCleanDedupsAgainstResident(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(reg, "m.")
+	content := bytes.Repeat([]byte("z"), 512)
+	c.Fill(1, 0, content, 1)
+	c.Write(2, 0, content, 2)
+	if c.ResidentBytes() != 1024 {
+		t.Fatalf("bytes = %d while dirty, want 1024 (dirty content is private)", c.ResidentBytes())
+	}
+	c.MarkClean(2, 0)
+	if c.SharedBlocks() != 1 || c.ResidentBytes() != 512 {
+		t.Fatalf("blocks=%d bytes=%d after promote, want 1/512", c.SharedBlocks(), c.ResidentBytes())
+	}
+	if reg.CounterValue("m.cache.dedup_hits") != 1 {
+		t.Fatal("promotion did not dedup")
+	}
+	if !bytes.Equal(c.Object(2).Page(0).Data, content) {
+		t.Fatal("promoted page lost its content")
+	}
+}
+
+// Byte-quota eviction: resident bytes are bounded, dedup'd pages are
+// nearly free, and dirty pages are pinned past the quota.
+func TestByteQuotaEviction(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := NewWithLimits(reg, "q.", 0, 1024)
+	a := bytes.Repeat([]byte("a"), 512)
+	b := bytes.Repeat([]byte("b"), 512)
+	d := bytes.Repeat([]byte("d"), 512)
+	c.Fill(1, 0, a, 1)
+	c.Fill(1, 1, b, 2)
+	if c.ResidentBytes() != 1024 {
+		t.Fatalf("bytes = %d, want 1024", c.ResidentBytes())
+	}
+	c.Fill(1, 2, d, 3) // 1536 > 1024: evict LRU page (idx 0)
+	if c.ResidentBytes() > 1024 {
+		t.Fatalf("bytes = %d over quota", c.ResidentBytes())
+	}
+	if c.Object(1).Page(0) != nil || reg.CounterValue("q.cache.evictions") == 0 {
+		t.Fatal("LRU page not evicted for the byte quota")
+	}
+	// Dedup'd fills add pages but no bytes: no eviction needed.
+	for i := uint64(10); i < 20; i++ {
+		c.Fill(2, i, b, 4)
+	}
+	if c.ResidentBytes() > 1024 || c.Object(1).Page(1) == nil {
+		t.Fatalf("dedup'd fills cost bytes: %d", c.ResidentBytes())
+	}
+	if c.ResidentPages() != 12 {
+		t.Fatalf("pages = %d, want 12 (dedup does not evict page entries)", c.ResidentPages())
+	}
+}
+
+// A dirty set larger than the whole budget is retained: acknowledged
+// writes are never dropped, whichever budget (pages or bytes) is
+// exceeded.
+func TestQuotaSmallerThanDirtySet(t *testing.T) {
+	c := NewWithLimits(nil, "", 2, 600)
+	for i := uint64(0); i < 5; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 512)
+		c.Write(1, i, data, i+1)
+	}
+	if c.TotalDirty() != 5 || c.ResidentPages() != 5 {
+		t.Fatalf("dirty=%d resident=%d — an acknowledged write was dropped",
+			c.TotalDirty(), c.ResidentPages())
+	}
+	// Flushing lets eviction trim back within both budgets.
+	for i := uint64(0); i < 5; i++ {
+		c.MarkClean(1, i)
+	}
+	if c.ResidentPages() > 2 || c.ResidentBytes() > 600 {
+		t.Fatalf("resident=%d bytes=%d after flush, want within 2/600",
+			c.ResidentPages(), c.ResidentBytes())
+	}
+}
+
+// Accounting across the full page lifecycle.
+func TestAccountingFillWriteCleanDrop(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(reg, "l.")
+	gauge := func(name string) int64 { return reg.Gauge("l.cache." + name).Value() }
+	content := bytes.Repeat([]byte("c"), 512)
+	c.Fill(1, 0, content, 1)
+	if c.ResidentPages() != 1 || c.ResidentBytes() != 512 || gauge("resident_bytes") != 512 {
+		t.Fatalf("after Fill: pages=%d bytes=%d gauge=%d", c.ResidentPages(), c.ResidentBytes(), gauge("resident_bytes"))
+	}
+	c.Write(1, 0, bytes.Repeat([]byte("w"), 512), 2)
+	if c.ResidentPages() != 1 || c.ResidentBytes() != 512 || gauge("dirty_pages") != 1 {
+		t.Fatalf("after Write: pages=%d bytes=%d dirty=%d", c.ResidentPages(), c.ResidentBytes(), gauge("dirty_pages"))
+	}
+	c.MarkClean(1, 0)
+	if gauge("dirty_pages") != 0 || c.ResidentBytes() != 512 || c.SharedBlocks() != 1 {
+		t.Fatalf("after MarkClean: dirty=%d bytes=%d blocks=%d", gauge("dirty_pages"), c.ResidentBytes(), c.SharedBlocks())
+	}
+	c.Drop(1)
+	if c.ResidentPages() != 0 || c.ResidentBytes() != 0 || gauge("resident_bytes") != 0 || c.SharedBlocks() != 0 {
+		t.Fatalf("after Drop: pages=%d bytes=%d gauge=%d blocks=%d",
+			c.ResidentPages(), c.ResidentBytes(), gauge("resident_bytes"), c.SharedBlocks())
+	}
+}
+
+// Read-ahead attribution: the first hit on a prefetched page counts as
+// a prefetch hit; removal (or overwrite) before any hit counts it
+// wasted; a page a demand read already installed is left alone.
+func TestPrefetchCounters(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(reg, "p.")
+	hits := func() uint64 { return reg.CounterValue("p.cache.prefetch_hits") }
+	wasted := func() uint64 { return reg.CounterValue("p.cache.prefetch_wasted") }
+
+	c.FillPrefetched(1, 0, []byte("a"), 1)
+	c.Lookup(1, 0)
+	c.Lookup(1, 0) // only the first hit attributes
+	if hits() != 1 || wasted() != 0 {
+		t.Fatalf("hits=%d wasted=%d, want 1/0", hits(), wasted())
+	}
+	c.FillPrefetched(1, 1, []byte("b"), 2)
+	c.Drop(1) // never served
+	if wasted() != 1 {
+		t.Fatalf("wasted = %d, want 1", wasted())
+	}
+	c.FillPrefetched(2, 0, []byte("d"), 3)
+	c.Write(2, 0, []byte("e"), 4) // overwritten before serving
+	if wasted() != 2 {
+		t.Fatalf("wasted = %d, want 2", wasted())
+	}
+	c.Fill(3, 0, []byte("f"), 5)
+	if p := c.FillPrefetched(3, 0, []byte("g"), 6); !bytes.Equal(p.Data, []byte("f")) {
+		t.Fatal("prefetch completion displaced a demand-read page")
+	}
+	c.Lookup(3, 0)
+	if hits() != 1 {
+		t.Fatalf("hits = %d — demand-read page wrongly attributed to prefetch", hits())
+	}
+}
+
+// mpage is the model's view of one page.
+type mpage struct {
+	content string
+	dirty   bool
+}
+
+// Model-based property test: the cache against a trivial per-object
+// page map under arbitrary interleavings of every mutating operation.
+// This is the dedup analogue of the flush-equivalence test — MarkClean
+// stands in for a flush commit — and pins exactly the bookkeeping the
+// lease protocol's phase 4 relies on:
+//
+//	dirtyKeys ↔ Page.Dirty ↔ dirty_pages gauge never diverge,
+//	dirty (acknowledged) content is never dropped or altered,
+//	every resident page's bytes match the model (dedup never leaks
+//	content between objects),
+//	resident bytes equal the recomputed unique-content footprint.
+func TestCacheModelProperty(t *testing.T) {
+	const (
+		inos  = 3
+		idxs  = 4
+		steps = 400
+	)
+	contents := make([]string, 4)
+	for i := range contents {
+		contents[i] = strings.Repeat(string(rune('a'+i)), 512)
+	}
+
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bounded := seed%2 == 1
+		maxPages, quota := 0, int64(0)
+		if bounded {
+			maxPages, quota = 5, 4*512
+		}
+		reg := stats.NewRegistry()
+		c := NewWithLimits(reg, "mp.", maxPages, quota)
+		model := make(map[msg.ObjectID]map[uint64]mpage)
+		ensure := func(ino msg.ObjectID) map[uint64]mpage {
+			if model[ino] == nil {
+				model[ino] = make(map[uint64]mpage)
+			}
+			return model[ino]
+		}
+
+		var ver uint64
+		for step := 0; step < steps; step++ {
+			ino := msg.ObjectID(rng.Intn(inos) + 1)
+			idx := uint64(rng.Intn(idxs))
+			data := contents[rng.Intn(len(contents))]
+			ver++
+			switch rng.Intn(12) {
+			case 0, 1, 2:
+				c.Fill(ino, idx, []byte(data), ver)
+				if m, ok := ensure(ino)[idx]; !ok || !m.dirty {
+					ensure(ino)[idx] = mpage{content: data}
+				}
+			case 3, 4:
+				// FillPrefetched is a no-op iff the page is still resident
+				// (a bounded cache may have evicted the model's entry).
+				resident := c.Object(ino) != nil && c.Object(ino).Page(idx) != nil
+				c.FillPrefetched(ino, idx, []byte(data), ver)
+				if !resident {
+					ensure(ino)[idx] = mpage{content: data}
+				}
+			case 5, 6, 7:
+				c.Write(ino, idx, []byte(data), ver)
+				ensure(ino)[idx] = mpage{content: data, dirty: true}
+			case 8:
+				c.MarkClean(ino, idx)
+				if m, ok := ensure(ino)[idx]; ok && m.dirty {
+					ensure(ino)[idx] = mpage{content: m.content}
+				}
+			case 9:
+				c.Drop(ino)
+				delete(model, ino)
+			case 10:
+				c.DropPagesFrom(ino, idx)
+				for i2 := range model[ino] {
+					if i2 >= idx {
+						delete(model[ino], i2)
+					}
+				}
+			case 11:
+				if rng.Intn(8) == 0 {
+					c.InvalidateAll()
+					model = make(map[msg.ObjectID]map[uint64]mpage)
+				} else {
+					c.Lookup(ino, idx)
+				}
+			}
+			checkModel(t, c, reg, model, bounded, seed, step)
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+func checkModel(t *testing.T, c *Cache, reg *stats.Registry,
+	model map[msg.ObjectID]map[uint64]mpage, bounded bool, seed int64, step int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Fatalf("seed %d step %d: %s", seed, step, fmt.Sprintf(format, args...))
+	}
+
+	wantDirty := 0
+	residentPages := 0
+	cleanContents := make(map[string]bool)
+	var wantBytes int64
+	for ino := msg.ObjectID(1); ino <= 3; ino++ {
+		o := c.Object(ino)
+		mobj := model[ino]
+		dirtyHere := 0
+		for idx := uint64(0); idx < 4; idx++ {
+			var p *Page
+			if o != nil {
+				p = o.Page(idx)
+			}
+			m, inModel := mobj[idx]
+			if p == nil {
+				if inModel && m.dirty {
+					fail("dirty page (%d,%d) missing — acknowledged write dropped", ino, idx)
+				}
+				if inModel && !bounded {
+					fail("page (%d,%d) missing from unbounded cache", ino, idx)
+				}
+				continue
+			}
+			if !inModel {
+				fail("cache invented page (%d,%d)", ino, idx)
+			}
+			if string(p.Data) != m.content {
+				fail("page (%d,%d) content diverged from model", ino, idx)
+			}
+			if p.Dirty != m.dirty {
+				fail("page (%d,%d) dirty flag = %v, model %v", ino, idx, p.Dirty, m.dirty)
+			}
+			residentPages++
+			if p.Dirty {
+				dirtyHere++
+				wantDirty++
+				wantBytes += int64(len(p.Data))
+				if p.blk != nil {
+					fail("dirty page (%d,%d) references a shared block", ino, idx)
+				}
+			} else {
+				if p.blk == nil {
+					fail("clean page (%d,%d) has no content block", ino, idx)
+				}
+				cleanContents[m.content] = true
+			}
+		}
+		if o != nil && o.DirtyCount() != dirtyHere {
+			fail("object %d dirtyKeys = %d, pages say %d", ino, o.DirtyCount(), dirtyHere)
+		}
+	}
+	for content := range cleanContents {
+		wantBytes += int64(len(content))
+	}
+	if c.TotalDirty() != wantDirty {
+		fail("TotalDirty = %d, want %d", c.TotalDirty(), wantDirty)
+	}
+	if g := reg.Gauge("mp.cache.dirty_pages").Value(); g != int64(wantDirty) {
+		fail("dirty_pages gauge = %d, want %d", g, wantDirty)
+	}
+	if c.ResidentPages() != residentPages {
+		fail("ResidentPages = %d, counted %d", c.ResidentPages(), residentPages)
+	}
+	if c.ResidentBytes() != wantBytes {
+		fail("ResidentBytes = %d, recomputed %d", c.ResidentBytes(), wantBytes)
+	}
+	if g := reg.Gauge("mp.cache.resident_bytes").Value(); g != wantBytes {
+		fail("resident_bytes gauge = %d, want %d", g, wantBytes)
+	}
+	if c.SharedBlocks() != len(cleanContents) {
+		fail("SharedBlocks = %d, unique clean contents %d", c.SharedBlocks(), len(cleanContents))
+	}
+	if bounded && c.overBudget() && c.lru.Len() > 0 {
+		fail("over budget with evictable clean pages on the LRU")
+	}
+}

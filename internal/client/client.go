@@ -54,15 +54,29 @@ type Config struct {
 	// CacheMaxPages bounds the resident data cache; clean pages are
 	// evicted LRU beyond it (0 = unbounded). Dirty pages are pinned.
 	CacheMaxPages int
+	// CacheQuota bounds the resident data cache in bytes, counted after
+	// content dedup — pages sharing one content block cost its size once
+	// (0 = unbounded). Clean pages are evicted LRU beyond it; dirty
+	// pages are pinned. Both CacheMaxPages and CacheQuota may be set.
+	CacheQuota int64
 	// FlushBatch bounds how many dirty pages one vectored SAN write may
 	// carry (per target disk). 0 selects DefaultFlushBatch; 1 disables
 	// coalescing and restores the per-page DiskWrite flush path.
 	FlushBatch int
+	// Prefetch is the read-ahead window: after two consecutive block
+	// reads the client issues one vectored SAN read for the next N
+	// uncached blocks. 0 selects DefaultPrefetch; negative disables
+	// read-ahead.
+	Prefetch int
 }
 
 // DefaultFlushBatch is the flush coalescing bound used when
 // Config.FlushBatch is zero.
 const DefaultFlushBatch = 32
+
+// DefaultPrefetch is the read-ahead window used when Config.Prefetch is
+// zero.
+const DefaultPrefetch = 3
 
 func (c Config) withDefaults() Config {
 	if c.HeartbeatTTL == 0 {
@@ -155,6 +169,20 @@ type Client struct {
 	// overtake the downgrade and be answered from pre-downgrade state.
 	downgrading     map[msg.ObjectID]int
 	acquireDeferred map[msg.ObjectID][]func()
+	// seqNext/seqRun detect sequential scans per object (seqNext is the
+	// block index that would extend the run, seqRun its current length);
+	// prefetchInflight tracks block indexes a read-ahead batch is
+	// already fetching, so overlapping windows are not re-requested.
+	seqNext          map[msg.ObjectID]uint64
+	seqRun           map[msg.ObjectID]int
+	prefetchInflight map[msg.ObjectID]map[uint64]bool
+	// pfEnd is the exclusive end of issued read-ahead coverage per
+	// object: a new window is issued only when the scan reaches it.
+	pfEnd map[msg.ObjectID]uint64
+	// pfWaiters parks demand reads for blocks an in-flight read-ahead
+	// batch already covers: the read completes off the batch instead of
+	// duplicating the SAN round trip.
+	pfWaiters map[msg.ObjectID]map[uint64][]DataCallback
 
 	// Heartbeat baseline.
 	hbLastAck sim.Time
@@ -193,6 +221,9 @@ type Client struct {
 	lostDirty *stats.Counter
 	fencedIO  *stats.Counter
 	nfsPolls  *stats.Counter
+	// prefetchBatches counts read-ahead batches issued to the SAN (each
+	// one vectored read covering up to Prefetch blocks).
+	prefetchBatches *stats.Counter
 }
 
 // New creates a client talking to server. reg, oracle, and tr may be
@@ -221,7 +252,7 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		san:             san,
 		server:          server,
 		oracle:          oracle,
-		cache:           cache.NewWithCapacity(reg, prefix, cfg.CacheMaxPages),
+		cache:           cache.NewWithLimits(reg, prefix, cfg.CacheMaxPages, cfg.CacheQuota),
 		handles:         make(map[msg.Handle]handleInfo),
 		sanCalls:        make(map[msg.ReqID]*sanPending),
 		lockedInos:      make(map[msg.ObjectID]msg.LockMode),
@@ -232,6 +263,11 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		demandNext:      make(map[msg.ObjectID]*msg.Demand),
 		downgrading:     make(map[msg.ObjectID]int),
 		acquireDeferred: make(map[msg.ObjectID][]func()),
+		seqNext:          make(map[msg.ObjectID]uint64),
+		seqRun:           make(map[msg.ObjectID]int),
+		prefetchInflight: make(map[msg.ObjectID]map[uint64]bool),
+		pfEnd:            make(map[msg.ObjectID]uint64),
+		pfWaiters:        make(map[msg.ObjectID]map[uint64][]DataCallback),
 		objExpiry:       make(map[msg.ObjectID]sim.Time),
 		attrFetched:     make(map[msg.ObjectID]sim.Time),
 		reg:             reg,
@@ -244,6 +280,7 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		lostDirty:       reg.Counter(prefix + "dirty_discarded"),
 		fencedIO:        reg.Counter(prefix + "fenced_io"),
 		nfsPolls:        reg.Counter(prefix + "nfs_polls"),
+		prefetchBatches: reg.Counter(prefix + "prefetch_batches"),
 	}
 	c.tracer = tr
 	env := core.Env{

@@ -328,9 +328,18 @@ func (c *Client) Read(h msg.Handle, idx uint64, cb DataCallback) {
 
 // readBlock serves one block from cache or the SAN.
 func (c *Client) readBlock(ino msg.ObjectID, idx uint64, done DataCallback) {
+	// Feed the sequential detector before serving: read-ahead targets
+	// blocks AFTER idx, so it never races the block being read here.
+	c.notePrefetchRead(ino, idx)
 	if p := c.cache.Lookup(ino, idx); p != nil {
 		c.oracle.Read(c.id, ino, idx, p.Ver)
 		done(append([]byte(nil), p.Data...), msg.OK)
+		return
+	}
+	if c.prefetchInflight[ino][idx] {
+		// A read-ahead batch already has this block on the wire: ride it
+		// instead of duplicating the SAN round trip.
+		c.waitForPrefetch(ino, idx, done)
 		return
 	}
 	o := c.cache.Object(ino)

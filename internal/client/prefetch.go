@@ -1,0 +1,199 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
+
+// Read-ahead: after two consecutive block reads on one object, the
+// client speculatively fetches the next Prefetch uncached blocks in one
+// vectored SAN read per target disk (the same DiskReadV machinery the
+// flush path batches writes with). Prefetch is pure optimization layered
+// on the data path, and it must not weaken any protocol invariant:
+//
+//   - It only ever runs from a read that was admitted under a valid
+//     lease and a covering shared lock, and each batch holds ioBegin
+//     for its object, so a demand downgrade drains the read-ahead
+//     exactly as it drains demand reads — a batch can never complete
+//     into a revoked cache.
+//   - Completion re-checks that the lock is still held before
+//     installing pages (the lease may have expired, or a demand may
+//     have been complied with, while the batch was in flight; cancelSAN
+//     also fails the batch with ErrStale on expiry and crash).
+//   - Installed pages go through Cache.FillPrefetched, which defers to
+//     any page a demand read or a write installed first — in
+//     particular it never overwrites dirty content.
+//
+// cache.prefetch_hits / cache.prefetch_wasted attribute the outcome of
+// every prefetched page; client.<id>.prefetch_batches counts issued
+// batches; trace EvPrefetch records each batch for the event stream.
+
+// prefetchWindow resolves Config.Prefetch (0 = DefaultPrefetch,
+// negative = disabled).
+func (c *Client) prefetchWindow() int {
+	switch {
+	case c.cfg.Prefetch < 0:
+		return 0
+	case c.cfg.Prefetch == 0:
+		return DefaultPrefetch
+	default:
+		return c.cfg.Prefetch
+	}
+}
+
+// notePrefetchRead advances the per-object sequential detector with a
+// demand read of block idx and, once a run is established, issues
+// read-ahead for the window after idx.
+func (c *Client) notePrefetchRead(ino msg.ObjectID, idx uint64) {
+	w := c.prefetchWindow()
+	if w <= 0 {
+		return
+	}
+	if c.seqRun[ino] > 0 && c.seqNext[ino] == idx {
+		c.seqRun[ino]++
+	} else {
+		c.seqRun[ino] = 1
+		delete(c.pfEnd, ino) // a new scan re-arms read-ahead from scratch
+	}
+	c.seqNext[ino] = idx + 1
+	if c.seqRun[ino] < 2 {
+		return
+	}
+	// Issue a fresh window only when the scan is about to run past the
+	// blocks already covered: one w-block batch per w consumed blocks,
+	// not a 1-block batch per read.
+	if idx+1 < c.pfEnd[ino] {
+		return
+	}
+	o := c.cache.Object(ino)
+	if o == nil || !o.HaveMap {
+		return
+	}
+	// Candidates in ascending index order; batches grouped per disk in
+	// first-appearance order, so issue order is deterministic (simulated
+	// runs must replay identically from a seed).
+	type batch struct {
+		idxs []uint64
+		nums []uint64
+	}
+	var order []msg.NodeID
+	byDisk := make(map[msg.NodeID]*batch)
+	end := idx + uint64(w)
+	c.pfEnd[ino] = end + 1
+	for j := idx + 1; j <= end && j < uint64(len(o.Blocks)); j++ {
+		if o.Page(j) != nil || c.prefetchInflight[ino][j] {
+			continue
+		}
+		ref := o.Blocks[j]
+		bt := byDisk[ref.Disk]
+		if bt == nil {
+			bt = &batch{}
+			byDisk[ref.Disk] = bt
+			order = append(order, ref.Disk)
+		}
+		bt.idxs = append(bt.idxs, j)
+		bt.nums = append(bt.nums, ref.Num)
+	}
+	for _, d := range order {
+		c.issuePrefetch(ino, d, byDisk[d].idxs, byDisk[d].nums)
+	}
+}
+
+// issuePrefetch sends one read-ahead batch to disk d and installs the
+// returned blocks that are still wanted when the reply arrives.
+func (c *Client) issuePrefetch(ino msg.ObjectID, d msg.NodeID, idxs, nums []uint64) {
+	infl := c.prefetchInflight[ino]
+	if infl == nil {
+		infl = make(map[uint64]bool)
+		c.prefetchInflight[ino] = infl
+	}
+	for _, j := range idxs {
+		infl[j] = true
+	}
+	c.ioBegin(ino)
+	c.prefetchBatches.Inc()
+	c.emit(trace.Event{Type: trace.EvPrefetch, Ino: ino, Block: idxs[0],
+		Note: fmt.Sprintf("window=%d", len(idxs))})
+	c.sanCall(d, func(req msg.ReqID) msg.Message {
+		return &msg.DiskReadV{Client: c.id, Req: req, Blocks: nums}
+	}, func(reply msg.Message, errno msg.Errno) {
+		c.ioEnd(ino)
+		for _, j := range idxs {
+			delete(infl, j)
+		}
+		if len(infl) == 0 && len(c.prefetchInflight[ino]) == 0 {
+			delete(c.prefetchInflight, ino)
+		}
+		// The batch was read under the shared lock; install only if both
+		// the batch succeeded and that lock still stands (a lease expiry
+		// in the window means the content may no longer be ours to cache;
+		// cancelSAN delivers ErrStale here on expiry and crash).
+		installed := false
+		var res *msg.DiskReadVRes
+		if errno == msg.OK && reply != nil && c.lockedInos[ino].Covers(msg.LockShared) {
+			res = reply.(*msg.DiskReadVRes)
+			if len(res.Data) >= len(idxs)*BlockSize {
+				installed = true
+				for i, j := range idxs {
+					if i < len(res.Errs) && res.Errs[i] != msg.OK {
+						continue
+					}
+					var ver uint64
+					if i < len(res.Vers) {
+						ver = res.Vers[i]
+					}
+					c.cache.FillPrefetched(ino, j, res.Data[i*BlockSize:(i+1)*BlockSize], ver)
+				}
+			}
+		}
+		for i, j := range idxs {
+			blockErr := errno
+			if blockErr == msg.OK && !installed {
+				blockErr = msg.ErrStale
+			}
+			if blockErr == msg.OK && res != nil && i < len(res.Errs) && res.Errs[i] != msg.OK {
+				blockErr = res.Errs[i]
+			}
+			c.servePrefetchWaiters(ino, j, blockErr)
+		}
+	})
+}
+
+// waitForPrefetch parks a demand read on the in-flight read-ahead batch
+// covering idx. The caller verified coverage via prefetchInflight.
+func (c *Client) waitForPrefetch(ino msg.ObjectID, idx uint64, done DataCallback) {
+	m := c.pfWaiters[ino]
+	if m == nil {
+		m = make(map[uint64][]DataCallback)
+		c.pfWaiters[ino] = m
+	}
+	m[idx] = append(m[idx], done)
+}
+
+// servePrefetchWaiters completes any demand reads parked on block idx
+// of a finished read-ahead batch: from the freshly installed page on
+// success, or with the batch's error.
+func (c *Client) servePrefetchWaiters(ino msg.ObjectID, idx uint64, errno msg.Errno) {
+	m := c.pfWaiters[ino]
+	ws := m[idx]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m, idx)
+	if len(m) == 0 {
+		delete(c.pfWaiters, ino)
+	}
+	for _, done := range ws {
+		if errno == msg.OK {
+			if p := c.cache.Lookup(ino, idx); p != nil {
+				c.oracle.Read(c.id, ino, idx, p.Ver)
+				done(append([]byte(nil), p.Data...), msg.OK)
+				continue
+			}
+			errno = msg.ErrStale
+		}
+		done(nil, errno)
+	}
+}

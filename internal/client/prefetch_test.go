@@ -1,0 +1,131 @@
+package client_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/msg"
+)
+
+// populateBlocks writes n distinct blocks to path from client w and
+// flushes them to the SAN.
+func populateBlocks(t *testing.T, cl *cluster.Cluster, w int, path string, n int) {
+	t.Helper()
+	h, _ := cl.MustOpen(w, path, true, true)
+	data := make([]byte, cluster.BlockSize)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(data, uint64(i))
+		if e := cl.Write(w, h, uint64(i), data); e != msg.OK {
+			t.Fatalf("populate write %d: %v", i, e)
+		}
+	}
+	if e := cl.Sync(w); e != msg.OK {
+		t.Fatalf("populate sync: %v", e)
+	}
+}
+
+// scanSANReads runs a full sequential scan of path's n blocks on client
+// r and returns the SAN messages the scan sent.
+func scanSANReads(t *testing.T, cl *cluster.Cluster, r int, path string, n int) uint64 {
+	t.Helper()
+	h, _ := cl.MustOpen(r, path, false, false)
+	before := cl.Reg.CounterValue("net.san.sent.san-io")
+	data := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		got, e := cl.Read(r, h, uint64(i))
+		if e != msg.OK {
+			t.Fatalf("read %d: %v", i, e)
+		}
+		binary.BigEndian.PutUint64(data, uint64(i))
+		if string(got[:8]) != string(data) {
+			t.Fatalf("block %d content wrong", i)
+		}
+	}
+	return cl.Reg.CounterValue("net.san.sent.san-io") - before
+}
+
+// A sequential scan with read-ahead takes fewer SAN round trips than
+// the same scan without it (blocks arrive in vectored batches), and the
+// prefetched pages are actually the ones serving the reads.
+func TestSequentialScanPrefetchReducesSANRoundTrips(t *testing.T) {
+	const blocks = 24
+
+	run := func(prefetch int) (msgs uint64, hits uint64, batches uint64) {
+		opts := cluster.DefaultOptions()
+		opts.Prefetch = prefetch
+		cl := cluster.New(opts)
+		cl.Start()
+		populateBlocks(t, cl, 0, "/seq", blocks)
+		msgs = scanSANReads(t, cl, 1, "/seq", blocks)
+		hits = cl.Reg.CounterValue("client.n11.cache.prefetch_hits")
+		batches = cl.Reg.CounterValue("client.n11.prefetch_batches")
+		return
+	}
+
+	offMsgs, offHits, offBatches := run(-1)
+	onMsgs, onHits, onBatches := run(0) // 0 = default window (3)
+
+	if offHits != 0 || offBatches != 0 {
+		t.Fatalf("disabled prefetch still prefetched: hits=%d batches=%d", offHits, offBatches)
+	}
+	if offMsgs != blocks {
+		t.Fatalf("baseline scan sent %d SAN messages, want %d scalar reads", offMsgs, blocks)
+	}
+	if onBatches == 0 || onHits == 0 {
+		t.Fatalf("prefetch never engaged: batches=%d hits=%d", onBatches, onHits)
+	}
+	if onMsgs >= offMsgs {
+		t.Fatalf("prefetch did not reduce SAN round trips: %d with, %d without", onMsgs, offMsgs)
+	}
+}
+
+// A re-scan over a warm cache issues no read-ahead at all: every block
+// is already resident, so the candidate windows are empty.
+func TestWarmRescanIssuesNoPrefetch(t *testing.T) {
+	const blocks = 12
+	opts := cluster.DefaultOptions()
+	cl := cluster.New(opts)
+	cl.Start()
+	populateBlocks(t, cl, 0, "/warm", blocks)
+	scanSANReads(t, cl, 1, "/warm", blocks)
+	batches := cl.Reg.CounterValue("client.n11.prefetch_batches")
+	if got := scanSANReads(t, cl, 1, "/warm", blocks); got != 0 {
+		t.Fatalf("warm re-scan sent %d SAN messages", got)
+	}
+	if cl.Reg.CounterValue("client.n11.prefetch_batches") != batches {
+		t.Fatal("warm re-scan issued read-ahead for resident blocks")
+	}
+}
+
+// The byte quota bounds resident cache bytes end to end through the
+// options plumbing, and eviction under the quota still refetches
+// correctly.
+func TestCacheQuotaBoundsResidentBytes(t *testing.T) {
+	const blocks = 8
+	quota := int64(4 * cluster.BlockSize)
+	opts := cluster.DefaultOptions()
+	opts.CacheQuota = quota
+	opts.Prefetch = -1 // isolate the quota behaviour
+	cl := cluster.New(opts)
+	cl.Start()
+	populateBlocks(t, cl, 0, "/quota", blocks)
+	c := cl.Clients[0]
+	if got := c.Cache().ResidentBytes(); got > quota {
+		t.Fatalf("resident bytes %d over quota %d after flush", got, quota)
+	}
+	// Random-ish re-reads: everything stays servable, quota stays bounded.
+	h, _ := cl.MustOpen(0, "/quota", false, false)
+	for i := 0; i < blocks; i++ {
+		idx := uint64((i * 5) % blocks)
+		if _, e := cl.Read(0, h, idx); e != msg.OK {
+			t.Fatalf("read %d: %v", idx, e)
+		}
+		if got := c.Cache().ResidentBytes(); got > quota {
+			t.Fatalf("resident bytes %d over quota %d", got, quota)
+		}
+	}
+	if cl.Reg.CounterValue("client.n10.cache.evictions") == 0 {
+		t.Fatal("quota never evicted")
+	}
+}

@@ -62,9 +62,15 @@ type Options struct {
 	GracePeriod time.Duration
 	// CacheMaxPages bounds each client's resident cache (0 = unbounded).
 	CacheMaxPages int
+	// CacheQuota bounds each client's resident cache in bytes, counted
+	// after content dedup (0 = unbounded).
+	CacheQuota int64
 	// FlushBatch bounds how many dirty pages one vectored SAN write may
 	// carry (0 = client default; 1 = legacy per-page write-back).
 	FlushBatch int
+	// Prefetch is each client's sequential read-ahead window (0 = client
+	// default; negative = disabled).
+	Prefetch int
 	// ClientRates pins explicit clock rates per client (overrides
 	// ClockSkew for those indices); ServerRate pins the server's.
 	ClientRates []float64
@@ -184,7 +190,8 @@ func New(opts Options) *Cluster {
 		ccfg := client.Config{
 			Core: opts.Core, Policy: opts.Policy,
 			FlushInterval: opts.FlushInterval, DisableReassert: opts.DisableReassert,
-			CacheMaxPages: opts.CacheMaxPages, FlushBatch: opts.FlushBatch,
+			CacheMaxPages: opts.CacheMaxPages, CacheQuota: opts.CacheQuota,
+			FlushBatch: opts.FlushBatch, Prefetch: opts.Prefetch,
 		}
 		clientClock := newClock()
 		if i < len(opts.ClientRates) && opts.ClientRates[i] > 0 {

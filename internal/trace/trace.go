@@ -96,6 +96,12 @@ const (
 	// "torn-read" (a torn Block was asked for and refused), and
 	// "media-error" (an I/O failure answering for Block).
 	EvDisk
+	// EvPrefetch: the client detected a sequential scan on Ino and
+	// issued a read-ahead batch starting at file-block Block; Note
+	// carries the batch width ("window=N"). Prefetch is an optimization
+	// on top of the data path, never a protocol step: the batch runs
+	// under the same lock/lease gating as a demand read.
+	EvPrefetch
 )
 
 var typeNames = [...]string{
@@ -118,6 +124,7 @@ var typeNames = [...]string{
 	EvReassert:     "reassert",
 	EvTransport:    "transport",
 	EvDisk:         "disk",
+	EvPrefetch:     "prefetch",
 }
 
 func (t Type) String() string {

@@ -150,6 +150,29 @@ func WithCacheMaxPages(n int) Option {
 	return func(b *Build) { b.Cluster.CacheMaxPages = n }
 }
 
+// WithCacheQuota bounds each client's resident cache in bytes, counted
+// after content dedup — pages sharing one content block cost its size
+// once (0 = unbounded). Clean pages are evicted LRU beyond the quota;
+// dirty pages are pinned until flushed. Composes with
+// WithCacheMaxPages: both bounds are enforced. [sim, live client]
+func WithCacheQuota(bytes int64) Option {
+	return func(b *Build) { b.Cluster.CacheQuota = bytes }
+}
+
+// WithPrefetch sets each client's sequential read-ahead window: after
+// two consecutive block reads the client issues one vectored SAN read
+// for the next n uncached blocks (n ≤ 0 disables read-ahead; the
+// default window is 3). [sim, live client]
+func WithPrefetch(n int) Option {
+	return func(b *Build) {
+		if n <= 0 {
+			b.Cluster.Prefetch = -1
+			return
+		}
+		b.Cluster.Prefetch = n
+	}
+}
+
 // WithClockSkew draws per-node clock rates within the pairwise rate
 // bound ε when on (the default), or pins every clock to rate 1. [sim]
 func WithClockSkew(on bool) Option {
@@ -305,7 +328,9 @@ func StartClient(spec NodeSpec, opts ...Option) (*ClientNode, error) {
 		Core: b.Cluster.Core, Policy: b.Cluster.Policy,
 		FlushInterval: b.Cluster.FlushInterval,
 		CacheMaxPages: b.Cluster.CacheMaxPages,
+		CacheQuota:    b.Cluster.CacheQuota,
 		FlushBatch:    b.Cluster.FlushBatch,
+		Prefetch:      b.Cluster.Prefetch,
 	}
 	cn, err := rpcnet.StartClientNode(spec, cfg, b.Node...)
 	if err != nil {
