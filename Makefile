@@ -31,12 +31,14 @@ lint:
 # verify is the pre-merge gate: everything must compile, pass vet and
 # tanklint, and run the full suite (including the live-TCP chaos tests
 # and the kill -9 crash-restart durability harness, scalar and
-# vectored) race-clean.
+# vectored) race-clean, plus the shard-scaling smoke tier (64 clients,
+# 2 authorities must clear 1.3x one) explicitly and race-clean.
 verify: lint
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestCrashRestart' ./internal/rpcnet/
+	$(GO) test -race -count=1 -run 'TestShardScaleSmoke' ./internal/shard/
 
 # bench runs every benchmark with allocation stats and renders the
 # results as BENCH_tier1.json (op/s and ns/op per benchmark; see

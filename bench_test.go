@@ -109,9 +109,9 @@ func BenchmarkT7ServerRecovery(b *testing.B) {
 	benchExperiment(b, "T7", "reassert.outage_secs", "norecover.outage_secs")
 }
 
-// BenchmarkT8MultiServer — §4/Fig 1: per-pair lease granularity across a
+// BenchmarkT8ShardCluster — §4/Fig 1: per-pair lease granularity across a
 // server cluster.
-func BenchmarkT8MultiServer(b *testing.B) {
+func BenchmarkT8ShardCluster(b *testing.B) {
 	benchExperiment(b, "T8", "unaffected_shard_errors", "partitioned_shard_errors")
 }
 

@@ -27,7 +27,10 @@
 // Benchmarks that exist on only one side are ignored (new benchmarks
 // have no baseline; retired ones no current number), and timing metrics
 // are never gated — ns/op is hardware-noisy in CI, the gated counts and
-// ratios come out of the deterministic simulator.
+// ratios come out of the deterministic simulator. One absolute floor
+// also applies: when the shard scale benchmark is present, the derived
+// 4-shard metadata-throughput speedup must be at least 3x the single
+// authority (shardscale.speedup_4x).
 package main
 
 import (
@@ -179,8 +182,24 @@ func compareBaseline(path string, current []Result) ([]string, error) {
 				cur.Name, unit, was, now, (1-now/was)*100))
 		}
 	}
+	// Absolute floors on derived ratios, independent of the baseline: the
+	// shard-scaling claim is "4 authorities ≥ 3× one" on the Zipf
+	// metadata workload, and the gate holds the repo to it whenever the
+	// scale benchmark is in the stream.
+	if d := derive(current); d != nil {
+		if speedup, ok := d["shardscale.speedup_4x"]; ok && speedup < shardSpeedup4xFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"shardscale.speedup_4x: %.2f (floor is %.1fx over 1 shard)",
+				speedup, shardSpeedup4xFloor))
+		}
+	}
 	return regressions, nil
 }
+
+// shardSpeedup4xFloor is the minimum metadata-throughput speedup a
+// 4-shard installation must show over a single authority on the Zipf
+// scale benchmark.
+const shardSpeedup4xFloor = 3.0
 
 // Report is the full JSON document: the parsed benchmark records plus
 // any cross-benchmark ratios derivable from them.
@@ -231,6 +250,20 @@ func derive(results []Result) map[string]float64 {
 	// content-addressed cache shares away, surfaced as a headline number.
 	if d, ok := metric("BenchmarkSharedHotFile", "dedup_bytes_saved_ratio"); ok {
 		out["hotfile.dedup_bytes_saved_ratio"] = d
+	}
+	// Shard scaling: metadata throughput of an N-authority installation
+	// over the single-authority baseline under the Zipf workload. The
+	// speedup ratios are the headline of the scale benchmark's curve.
+	if base, ok := metric("BenchmarkShardScaleZipf/shards=1", "mdops_per_simsec"); ok && base > 0 {
+		out["shardscale.mdops_per_simsec.1"] = base
+		for _, n := range []int{2, 4, 8} {
+			v, ok := metric(fmt.Sprintf("BenchmarkShardScaleZipf/shards=%d", n), "mdops_per_simsec")
+			if !ok {
+				continue
+			}
+			out[fmt.Sprintf("shardscale.mdops_per_simsec.%d", n)] = v
+			out[fmt.Sprintf("shardscale.speedup_%dx", n)] = v / base
+		}
 	}
 	if len(out) == 0 {
 		return nil

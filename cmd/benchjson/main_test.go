@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -102,6 +103,49 @@ func TestCompareBaselineGatesSeqScanReads(t *testing.T) {
 	}
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %v, want the san_reads/scan ceiling", regs)
+	}
+}
+
+func shardbench(shards int, mdops float64) Result {
+	return Result{Name: "BenchmarkShardScaleZipf/shards=" + fmt.Sprint(shards) + "-8",
+		Metrics: map[string]float64{"mdops_per_simsec": mdops}}
+}
+
+func TestDeriveShardScale(t *testing.T) {
+	d := derive([]Result{
+		shardbench(1, 1000), shardbench(2, 1900),
+		shardbench(4, 3600), shardbench(8, 6400),
+	})
+	if d == nil {
+		t.Fatal("no derived metrics")
+	}
+	for key, want := range map[string]float64{
+		"shardscale.speedup_2x": 1.9, "shardscale.speedup_4x": 3.6,
+		"shardscale.speedup_8x": 6.4, "shardscale.mdops_per_simsec.1": 1000,
+	} {
+		if got := d[key]; got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("%s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestCompareEnforcesShardSpeedupFloor(t *testing.T) {
+	base := writeBaseline(t, nil)
+	// 4 shards only 2.1x one shard: below the 3x absolute floor.
+	regs, err := compareBaseline(base, []Result{shardbench(1, 1000), shardbench(4, 2100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want the speedup_4x floor", regs)
+	}
+	// At 3.4x the floor passes.
+	regs, err = compareBaseline(base, []Result{shardbench(1, 1000), shardbench(4, 3400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
 	}
 }
 

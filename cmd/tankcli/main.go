@@ -8,7 +8,18 @@
 //	tankcli ... -id 11 read /hello.txt 0
 //
 // Commands: mkdir PATH | create PATH | ls PATH | stat PATH | rm PATH |
-// write PATH BLOCK TEXT | read PATH BLOCK | bench OPS | idle DURATION
+// mv OLD NEW | write PATH BLOCK TEXT | read PATH BLOCK | bench OPS |
+// idle DURATION
+//
+// Against a sharded installation, pass the full authority address book
+// instead of -server:
+//
+//	tankcli -shards "1=127.0.0.1:7001,2=127.0.0.1:7002" -disks "..." stat /hello.txt
+//
+// The client then runs one protocol instance per authority and routes
+// each operation by the same hash placement the servers use; mv between
+// paths owned by different authorities exercises the cross-shard
+// handoff.
 package main
 
 import (
@@ -23,12 +34,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
+	"repro/internal/shard"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
 		serverAddr = flag.String("server", "127.0.0.1:7001", "tankd control address")
+		shardsFlag = flag.String("shards", "", "sharded authority address book: id=addr,id=addr,... (overrides -server)")
 		disksFlag  = flag.String("disks", "", "SAN address book: id=addr,id=addr,...")
 		id         = flag.Int("id", 10, "this client's node id")
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ (must match tankd)")
@@ -38,7 +52,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: tankcli [flags] COMMAND ARGS...\ncommands: mkdir create ls stat rm write read bench idle")
+		log.Fatal("usage: tankcli [flags] COMMAND ARGS...\ncommands: mkdir create ls stat rm mv write read bench idle")
 	}
 
 	diskAddrs, err := parseDisks(*disksFlag)
@@ -49,7 +63,6 @@ func main() {
 	cfg.Tau = *tau
 	cfg.Bound.Eps = *eps
 
-	topo := rpcnet.Topology{Server: 1, ServerAddr: *serverAddr, Disks: diskAddrs}
 	var opts []rpcnet.Option
 	if *tracing {
 		opts = append(opts, rpcnet.WithTracer(trace.New(trace.NewLogf(log.Printf))))
@@ -59,26 +72,85 @@ func main() {
 		log.Fatal(err)
 	}
 	opts = append(opts, codecOpt)
-	node, err := rpcnet.StartClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
-		client.Config{Core: cfg}, opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer node.Close()
 
-	cli := &cli{node: node}
+	cli := &cli{id: *id}
+	if *shardsFlag != "" {
+		servers, err := parseDisks(*shardsFlag)
+		if err != nil {
+			log.Fatalf("-shards: %v", err)
+		}
+		topo := rpcnet.Topology{Servers: servers, Disks: diskAddrs}
+		// The same hash placement over sorted authority IDs the servers
+		// compute from their -shards flag.
+		ids := topo.ServerIDs()
+		place := shard.Hash{N: len(ids)}
+		route := func(path string) msg.NodeID {
+			idx, ok := place.Owner(path)
+			if !ok {
+				return msg.None
+			}
+			return ids[idx]
+		}
+		node, err := rpcnet.StartShardClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
+			client.Config{Core: cfg}, route, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		cli.shard = node
+	} else {
+		topo := rpcnet.Topology{Server: 1, ServerAddr: *serverAddr, Disks: diskAddrs}
+		node, err := rpcnet.StartClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
+			client.Config{Core: cfg}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		cli.node = node
+	}
 	cli.register()
 	if err := cli.run(flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-type cli struct{ node *rpcnet.ClientNode }
+type cli struct {
+	id    int
+	node  *rpcnet.ClientNode      // single-authority mode
+	shard *rpcnet.ShardClientNode // -shards mode
+}
+
+// pick returns the protocol instance that serves path.
+func (c *cli) pick(path string) *client.Client {
+	if c.shard != nil {
+		sub := c.shard.Route(path)
+		if sub == nil {
+			log.Fatalf("no authority owns %s", path)
+		}
+		return sub
+	}
+	return c.node.Client
+}
+
+func (c *cli) submit(fn func()) {
+	if c.shard != nil {
+		c.shard.Do(fn)
+		return
+	}
+	c.node.Do(fn)
+}
+
+func (c *cli) reg() *stats.Registry {
+	if c.shard != nil {
+		return c.shard.Reg
+	}
+	return c.node.Reg
+}
 
 // do runs fn on the client executor and waits for completion.
 func (c *cli) do(fn func(done func())) {
 	ch := make(chan struct{})
-	c.node.Do(func() { fn(func() { close(ch) }) })
+	c.submit(func() { fn(func() { close(ch) }) })
 	select {
 	case <-ch:
 	case <-time.After(30 * time.Second):
@@ -87,6 +159,13 @@ func (c *cli) do(fn func(done func())) {
 }
 
 func (c *cli) register() {
+	if c.shard != nil {
+		if err := c.shard.Start(0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("registered as n%d with %d authorities\n", c.id, len(c.shard.Subs))
+		return
+	}
 	c.do(func(done func()) {
 		c.node.Client.OnRecovered = func(e msg.Epoch) {
 			fmt.Printf("registered as n%d epoch %d\n", c.node.Client.ID(), e)
@@ -101,7 +180,7 @@ func (c *cli) open(path string, write, create bool) (msg.Handle, msg.Attr, msg.E
 	var attr msg.Attr
 	var errno msg.Errno
 	c.do(func(done func()) {
-		c.node.Client.Open(path, write, create, func(gh msg.Handle, a msg.Attr, e msg.Errno) {
+		c.pick(path).Open(path, write, create, func(gh msg.Handle, a msg.Attr, e msg.Errno) {
 			h, attr, errno = gh, a, e
 			done()
 		})
@@ -124,7 +203,7 @@ func (c *cli) run(args []string) error {
 		}
 		var errno msg.Errno
 		c.do(func(done func()) {
-			c.node.Client.Create(rest[0], cmd == "mkdir", func(_ msg.Attr, e msg.Errno) {
+			c.pick(rest[0]).Create(rest[0], cmd == "mkdir", func(_ msg.Attr, e msg.Errno) {
 				errno = e
 				done()
 			})
@@ -141,7 +220,7 @@ func (c *cli) run(args []string) error {
 		}
 		var entries []msg.DirEntry
 		c.do(func(done func()) {
-			c.node.Client.Readdir(attr.Ino, func(es []msg.DirEntry, e msg.Errno) {
+			c.pick(rest[0]).Readdir(attr.Ino, func(es []msg.DirEntry, e msg.Errno) {
 				entries, errno = es, e
 				done()
 			})
@@ -165,7 +244,7 @@ func (c *cli) run(args []string) error {
 		var attr msg.Attr
 		var errno msg.Errno
 		c.do(func(done func()) {
-			c.node.Client.Lookup(rest[0], func(a msg.Attr, e msg.Errno) {
+			c.pick(rest[0]).Lookup(rest[0], func(a msg.Attr, e msg.Errno) {
 				attr, errno = a, e
 				done()
 			})
@@ -183,8 +262,25 @@ func (c *cli) run(args []string) error {
 		}
 		var errno msg.Errno
 		c.do(func(done func()) {
-			c.node.Client.Unlink(rest[0], func(e msg.Errno) { errno = e; done() })
+			c.pick(rest[0]).Unlink(rest[0], func(e msg.Errno) { errno = e; done() })
 		})
+		return errno.Or()
+
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		// Routed to the authority owning the OLD path; when the new path
+		// hashes to a different authority the servers run the cross-shard
+		// handoff and this call returns once the file lives at its new
+		// home.
+		var errno msg.Errno
+		c.do(func(done func()) {
+			c.pick(rest[0]).Rename(rest[0], rest[1], func(e msg.Errno) { errno = e; done() })
+		})
+		if errno == msg.OK {
+			fmt.Printf("moved %s -> %s\n", rest[0], rest[1])
+		}
 		return errno.Or()
 
 	case "write":
@@ -200,13 +296,13 @@ func (c *cli) run(args []string) error {
 			return errno
 		}
 		c.do(func(done func()) {
-			c.node.Client.Write(h, idx, []byte(rest[2]), func(e msg.Errno) { errno = e; done() })
+			c.pick(rest[0]).Write(h, idx, []byte(rest[2]), func(e msg.Errno) { errno = e; done() })
 		})
 		if errno != msg.OK {
 			return errno
 		}
 		c.do(func(done func()) {
-			c.node.Client.Sync(func(e msg.Errno) { errno = e; done() })
+			c.pick(rest[0]).Sync(func(e msg.Errno) { errno = e; done() })
 		})
 		if errno == msg.OK {
 			fmt.Printf("wrote %d bytes to %s block %d (flushed)\n", len(rest[2]), rest[0], idx)
@@ -227,7 +323,7 @@ func (c *cli) run(args []string) error {
 		}
 		var data []byte
 		c.do(func(done func()) {
-			c.node.Client.Read(h, idx, func(d []byte, e msg.Errno) { data, errno = d, e; done() })
+			c.pick(rest[0]).Read(h, idx, func(d []byte, e msg.Errno) { data, errno = d, e; done() })
 		})
 		if errno != msg.OK {
 			return errno
@@ -243,7 +339,8 @@ func (c *cli) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		h, _, errno := c.open(fmt.Sprintf("/bench-n%d", c.node.Client.ID()), true, true)
+		path := fmt.Sprintf("/bench-n%d", c.id)
+		h, _, errno := c.open(path, true, true)
 		if errno != msg.OK {
 			return errno
 		}
@@ -252,13 +349,13 @@ func (c *cli) run(args []string) error {
 		for i := 0; i < n; i++ {
 			var e msg.Errno
 			c.do(func(done func()) {
-				c.node.Client.Write(h, uint64(i%8), buf, func(ee msg.Errno) { e = ee; done() })
+				c.pick(path).Write(h, uint64(i%8), buf, func(ee msg.Errno) { e = ee; done() })
 			})
 			if e != msg.OK {
 				return e
 			}
 		}
-		c.do(func(done func()) { c.node.Client.Sync(func(msg.Errno) { done() }) })
+		c.do(func(done func()) { c.pick(path).Sync(func(msg.Errno) { done() }) })
 		el := time.Since(start)
 		fmt.Printf("%d writes in %v (%.0f ops/s)\n", n, el, float64(n)/el.Seconds())
 		return nil
@@ -278,15 +375,15 @@ func (c *cli) run(args []string) error {
 			return errno
 		}
 		c.do(func(done func()) {
-			c.node.Client.Write(h, 0, []byte("cached"), func(msg.Errno) { done() })
+			c.pick("/idle-demo").Write(h, 0, []byte("cached"), func(msg.Errno) { done() })
 		})
 		fmt.Printf("idling %v with cached state...\n", d)
 		time.Sleep(d)
 		ch := make(chan [2]uint64, 1)
-		c.node.Do(func() {
+		c.submit(func() {
 			ch <- [2]uint64{
-				c.node.Reg.CounterValue(fmt.Sprintf("client.n%d.lease.keepalives", c.node.Client.ID())),
-				c.node.Reg.CounterValue(fmt.Sprintf("client.n%d.lease.expiries", c.node.Client.ID())),
+				c.reg().CounterValue(fmt.Sprintf("client.n%d.lease.keepalives", c.id)),
+				c.reg().CounterValue(fmt.Sprintf("client.n%d.lease.expiries", c.id)),
 			}
 		})
 		v := <-ch

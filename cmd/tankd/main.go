@@ -21,6 +21,16 @@
 // a live installation can be degraded and healed mid-experiment:
 //
 //	tankd -fault-loss 0.2 -fault-delay 5ms -fault-jitter 5ms -trace events.jsonl
+//
+// A sharded installation runs one tankd per lease authority, each with
+// -shard-id and the full -shards address book (and a distinct
+// -disk-base). Every authority serves the hash-placed slice of the
+// namespace and hands files whose rename destination lives elsewhere to
+// the owning peer (DESIGN.md §14). The per-authority lock count is the
+// server.<id>.locks_held gauge in the SIGUSR1 dump:
+//
+//	tankd -shard-id 1 -ctrl :7001 -san-base 7101 -disk-base 1000 -shards "1=127.0.0.1:7001,2=127.0.0.1:7002"
+//	tankd -shard-id 2 -ctrl :7002 -san-base 7201 -disk-base 1100 -shards "1=127.0.0.1:7001,2=127.0.0.1:7002"
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +53,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -48,9 +61,12 @@ import (
 func main() {
 	var (
 		ctrlAddr   = flag.String("ctrl", ":7001", "control-network listen address")
+		shardID    = flag.Int("shard-id", 1, "this lease authority's node id")
+		shardsFlag = flag.String("shards", "", "sharded control address book: id=addr,id=addr,... including this authority; enables hash placement and cross-shard renames")
 		sanHost    = flag.String("san-host", "127.0.0.1", "host disks listen on")
 		sanBase    = flag.Int("san-base", 7101, "first SAN port; disk i listens on san-base+i")
 		nDisks     = flag.Int("disks", 2, "number of SAN disks to host")
+		diskBase   = flag.Int("disk-base", 1000, "first disk node id (give each authority of a sharded installation a distinct range)")
 		diskBlocks = flag.Uint64("disk-blocks", 1<<16, "capacity of each disk in 4KiB blocks")
 		dataDir    = flag.String("data-dir", "", "persist disk contents under DIR/disk-<id> (file-backed media; empty = in-memory, lost on exit)")
 		noSync     = flag.Bool("no-fsync", false, "with -data-dir, skip per-operation fsync (durable across process restarts, not power loss)")
@@ -121,11 +137,22 @@ func main() {
 	// -data-dir each disk opens (or recovers) a file-backed store, so a
 	// tankd restart from the same directory preserves every acknowledged
 	// write and the fence table; without it the media is in-memory.
-	topo := rpcnet.Topology{Server: 1, ServerAddr: *ctrlAddr, Disks: make(map[msg.NodeID]string)}
+	topo := rpcnet.Topology{Server: msg.NodeID(*shardID), ServerAddr: *ctrlAddr,
+		Disks: make(map[msg.NodeID]string)}
+	if *shardsFlag != "" {
+		servers, err := parseAddrBook(*shardsFlag)
+		if err != nil {
+			log.Fatalf("-shards: %v", err)
+		}
+		if _, ok := servers[topo.Server]; !ok {
+			log.Fatalf("-shards %q does not include this authority (-shard-id %d)", *shardsFlag, *shardID)
+		}
+		topo.Servers = servers
+	}
 	diskCaps := make(map[msg.NodeID]uint64)
 	var diskNodes []*rpcnet.DiskNode
 	for i := 0; i < *nDisks; i++ {
-		id := msg.NodeID(1000 + i)
+		id := msg.NodeID(*diskBase + i)
 		diskOpts := nodeOpts
 		if *dataDir != "" {
 			dir := filepath.Join(*dataDir, fmt.Sprintf("disk-%d", id))
@@ -155,14 +182,31 @@ func main() {
 		fmt.Printf("disk %v listening on %v (%d blocks)\n", id, dn.Addr, *diskBlocks)
 	}
 
-	srv, err := rpcnet.StartServerNode(rpcnet.NodeSpec{ID: topo.Server, Topo: topo}, server.Config{
-		Core: cfg, Policy: pol, Disks: diskCaps,
-	}, nodeOpts...)
+	scfg := server.Config{Core: cfg, Policy: pol, Disks: diskCaps}
+	if len(topo.Servers) > 0 {
+		// Hash placement over the sorted authority IDs — every tankd and
+		// every tankcli of the installation computes the same map.
+		ids := topo.ServerIDs()
+		place := shard.Hash{N: len(ids)}
+		scfg.PlaceOwner = func(path string) msg.NodeID {
+			idx, ok := place.Owner(path)
+			if !ok {
+				return msg.None
+			}
+			return ids[idx]
+		}
+	}
+	srv, err := rpcnet.StartServerNode(rpcnet.NodeSpec{ID: topo.Server, Topo: topo}, scfg, nodeOpts...)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
-	fmt.Printf("server n1 listening on %v (policy=%s τ=%v ε=%g)\n", srv.Addr, pol.Name, *tau, *eps)
-	fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks))
+	fmt.Printf("server n%d listening on %v (policy=%s τ=%v ε=%g)\n", *shardID, srv.Addr, pol.Name, *tau, *eps)
+	if len(topo.Servers) > 0 {
+		fmt.Printf("shard %d of %d (hash placement over %v)\n", *shardID, len(topo.Servers), topo.ServerIDs())
+		fmt.Printf("clients: tankcli -shards %q -disks %q\n", *shardsFlag, diskFlag(topo.Disks, *diskBase))
+	} else {
+		fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks, *diskBase))
+	}
 	if faultsConfigured {
 		fmt.Printf("%s (SIGUSR2 toggles)\n", ctrlFaults.Summary())
 	}
@@ -215,9 +259,9 @@ func policyByName(name string) (baselines.Policy, bool) {
 	return baselines.Policy{}, false
 }
 
-func diskFlag(addrs map[msg.NodeID]string) string {
+func diskFlag(addrs map[msg.NodeID]string, base int) string {
 	out := ""
-	for id := msg.NodeID(1000); ; id++ {
+	for id := msg.NodeID(base); ; id++ {
 		addr, ok := addrs[id]
 		if !ok {
 			break
@@ -228,4 +272,21 @@ func diskFlag(addrs map[msg.NodeID]string) string {
 		out += fmt.Sprintf("%d=%s", id, addr)
 	}
 	return out
+}
+
+// parseAddrBook parses "id=addr,id=addr,..." into a node address book.
+func parseAddrBook(s string) (map[msg.NodeID]string, error) {
+	out := make(map[msg.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad entry %q (want id=addr)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q: %v", kv[0], err)
+		}
+		out[msg.NodeID(id)] = kv[1]
+	}
+	return out, nil
 }

@@ -16,11 +16,24 @@ func TestPolicyByName(t *testing.T) {
 }
 
 func TestDiskFlag(t *testing.T) {
-	got := diskFlag(map[msg.NodeID]string{1000: "a:1", 1001: "b:2"})
+	got := diskFlag(map[msg.NodeID]string{1000: "a:1", 1001: "b:2"}, 1000)
 	if got != "1000=a:1,1001=b:2" {
 		t.Fatalf("diskFlag = %q", got)
 	}
-	if diskFlag(nil) != "" {
+	if diskFlag(nil, 1000) != "" {
 		t.Fatal("empty map should yield empty flag")
+	}
+	if got := diskFlag(map[msg.NodeID]string{1100: "a:1"}, 1100); got != "1100=a:1" {
+		t.Fatalf("diskFlag with base = %q", got)
+	}
+}
+
+func TestParseAddrBook(t *testing.T) {
+	got, err := parseAddrBook("1=127.0.0.1:7001, 2=127.0.0.1:7002")
+	if err != nil || len(got) != 2 || got[1] != "127.0.0.1:7001" || got[2] != "127.0.0.1:7002" {
+		t.Fatalf("parseAddrBook = %v, %v", got, err)
+	}
+	if _, err := parseAddrBook("nonsense"); err == nil {
+		t.Fatal("bad entry accepted")
 	}
 }

@@ -17,9 +17,13 @@ import (
 
 func main() {
 	const servers = 3
-	inst := storagetank.NewMultiServerWith(storagetank.WithServers(servers))
+	inst := storagetank.NewShardClusterWith(
+		storagetank.WithShards(servers),
+		storagetank.WithPlacement(storagetank.SubtreePlacement{
+			Prefixes: map[string]int{"/s0": 0, "/s1": 1, "/s2": 2},
+		}))
 	inst.Start()
-	tau := storagetank.Resolve().Multi.Core.Tau
+	tau := storagetank.Resolve().Shard.Core.Tau
 	fmt.Printf("cluster up: %d servers, namespace shards /s0 /s1 /s2, τ=%v\n\n",
 		servers, tau)
 

@@ -13,7 +13,7 @@
 // The pass flags any reference to time.Now, time.Sleep, time.After,
 // time.AfterFunc, time.NewTimer, time.NewTicker, time.Tick, time.Since,
 // or time.Until inside the protocol packages (core, client, server,
-// disk, lock, cluster, multiserver, rpcnet, blockstore, and sim outside
+// disk, lock, cluster, shard, rpcnet, blockstore, and sim outside
 // clock.go — clock.go IS the wall-clock shim the rest of the tree
 // injects). Types and constants (time.Duration, time.Second) are fine:
 // only the ambient clock is banned, not the unit system. Exemptions
@@ -43,7 +43,7 @@ var protocolPkgs = map[string]bool{
 	"disk":        true,
 	"lock":        true,
 	"cluster":     true,
-	"multiserver": true,
+	"shard": true,
 	"sim":         true,
 	"rpcnet":      true,
 	"blockstore":  true,

@@ -68,6 +68,12 @@ type Config struct {
 	// uncached blocks. 0 selects DefaultPrefetch; negative disables
 	// read-ahead.
 	Prefetch int
+	// SANReqBase offsets the client's SAN request-ID sequence. Sharded
+	// nodes run one Client per lease authority sharing a single SAN
+	// identity; disjoint bases keep their request IDs from colliding and
+	// let the router demultiplex disk replies back to the issuing
+	// sub-client (DESIGN.md §14).
+	SANReqBase msg.ReqID
 }
 
 // DefaultFlushBatch is the flush coalescing bound used when
@@ -282,12 +288,14 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		nfsPolls:        reg.Counter(prefix + "nfs_polls"),
 		prefetchBatches: reg.Counter(prefix + "prefetch_batches"),
 	}
+	c.nextSANReq = cfg.SANReqBase
 	c.tracer = tr
 	env := core.Env{
 		Reg:    reg,
 		Prefix: prefix,
 		Tracer: tr,
 		Node:   id,
+		Peer:   server,
 		// The channel is created below; by the time any event fires it
 		// exists, so the closure can read the live epoch.
 		Epoch: func() msg.Epoch {
@@ -314,6 +322,9 @@ func (c *Client) emit(ev trace.Event) {
 	ev.Time = c.clock.Now()
 	if ev.Epoch == 0 && c.chn != nil {
 		ev.Epoch = c.chn.Epoch()
+	}
+	if ev.Peer == 0 {
+		ev.Peer = c.server
 	}
 	c.tracer.Emit(ev)
 }

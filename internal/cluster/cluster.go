@@ -215,8 +215,8 @@ func New(opts Options) *Cluster {
 // mutex-guarded map lookup on the simulator's hottest path.
 func (cl *Cluster) observeNetworks() {
 	count := func(net string) func(simnet.Event) {
-		var sent, delivered [msg.KindLeaseAdmin + 1]*stats.Counter
-		for k := msg.KindControlReq; k <= msg.KindLeaseAdmin; k++ {
+		var sent, delivered [msg.KindShard + 1]*stats.Counter
+		for k := msg.KindControlReq; k <= msg.KindShard; k++ {
 			sent[k] = cl.Reg.Counter(net + ".sent." + k.String())
 			delivered[k] = cl.Reg.Counter(net + ".delivered." + k.String())
 		}

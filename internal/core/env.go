@@ -25,6 +25,12 @@ type Env struct {
 	// Epoch, when set, supplies the registration epoch stamped on
 	// events (the channel's current epoch, on clients).
 	Epoch func() msg.Epoch
+	// Peer, when set, is the default counterpart stamped on events that
+	// do not name one themselves. Sharded clients set it to the lease
+	// authority a sub-channel talks to, so per-shard trace queries can
+	// attribute client-side events (expiry, phase changes) to the one
+	// server whose steal clock they race.
+	Peer msg.NodeID
 }
 
 // withDefaults fills the registry so components never nil-check it.
@@ -55,6 +61,9 @@ func (e Env) emit(clock sim.Clock, ev trace.Event) {
 	ev.Time = clock.Now()
 	if ev.Epoch == 0 && e.Epoch != nil {
 		ev.Epoch = e.Epoch()
+	}
+	if ev.Peer == 0 {
+		ev.Peer = e.Peer
 	}
 	e.Tracer.Emit(ev)
 }

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msg"
-	"repro/internal/multiserver"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -17,13 +17,18 @@ import (
 // and the per-object alternative's renewal traffic is avoided without
 // giving up failure isolation.
 func RunT8(p Params) *Result {
-	opts := multiserver.DefaultOptions()
+	opts := shard.DefaultOptions()
 	opts.Seed = p.Seed
-	opts.Servers = 3
+	opts.Shards = 3
 	if p.Quick {
-		opts.Servers = 2
+		opts.Shards = 2
 	}
-	inst := multiserver.New(opts)
+	prefixes := make(map[string]int, opts.Shards)
+	for si := 0; si < opts.Shards; si++ {
+		prefixes[fmt.Sprintf("/s%d", si)] = si
+	}
+	opts.Placement = shard.Subtree{Prefixes: prefixes}
+	inst := shard.New(opts)
 	inst.Start()
 	tau := opts.Core.Tau
 
@@ -32,8 +37,8 @@ func RunT8(p Params) *Result {
 		"shard", "partitioned", "ops during partition", "errors", "lease at end")
 
 	// Node 0 works on every shard.
-	handles := make([]msg.Handle, opts.Servers)
-	for si := 0; si < opts.Servers; si++ {
+	handles := make([]msg.Handle, opts.Shards)
+	for si := 0; si < opts.Shards; si++ {
 		handles[si] = inst.MustOpen(0, fmt.Sprintf("/s%d/data", si), true, true)
 		mustOK(inst.Write(0, handles[si], 0, blockData(byte('a'+si))))
 	}
@@ -42,12 +47,12 @@ func RunT8(p Params) *Result {
 	inst.IsolatePair(0, 0)
 
 	// Keep working on every shard through 1.5 lease periods.
-	ops := make([]int, opts.Servers)
-	errs := make([]int, opts.Servers)
+	ops := make([]int, opts.Shards)
+	errs := make([]int, opts.Shards)
 	rounds := int((3 * tau / 2) / (500 * time.Millisecond))
 	for r := 0; r < rounds; r++ {
 		inst.RunFor(500 * time.Millisecond)
-		for si := 0; si < opts.Servers; si++ {
+		for si := 0; si < opts.Shards; si++ {
 			errno := inst.Write(0, handles[si], uint64(r%4), blockData(byte(r)))
 			ops[si]++
 			if errno != msg.OK {
@@ -57,7 +62,7 @@ func RunT8(p Params) *Result {
 	}
 
 	phases := inst.LeasePhases(0)
-	for si := 0; si < opts.Servers; si++ {
+	for si := 0; si < opts.Shards; si++ {
 		res.Table.AddRow(
 			fmt.Sprintf("/s%d", si),
 			yesNo(si == 0),
@@ -68,7 +73,7 @@ func RunT8(p Params) *Result {
 	}
 	res.Metric("partitioned_shard_errors", float64(errs[0]))
 	unaffectedErrs := 0
-	for si := 1; si < opts.Servers; si++ {
+	for si := 1; si < opts.Shards; si++ {
 		unaffectedErrs += errs[si]
 	}
 	res.Metric("unaffected_shard_errors", float64(unaffectedErrs))

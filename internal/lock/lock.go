@@ -55,6 +55,26 @@ type Table struct {
 	objects  map[msg.ObjectID]*objLock
 	demander Demander
 	nextID   msg.DemandID
+	// holds counts (client, object) holder entries across all objects,
+	// maintained incrementally so the per-shard locks_held gauge is O(1)
+	// to read on every request.
+	holds int
+}
+
+// setHold adds or replaces client's hold on o, keeping the holds count.
+func (t *Table) setHold(o *objLock, client msg.NodeID, mode msg.LockMode) {
+	if _, ok := o.holders[client]; !ok {
+		t.holds++
+	}
+	o.holders[client] = mode
+}
+
+// delHold removes client's hold on o, keeping the holds count.
+func (t *Table) delHold(o *objLock, client msg.NodeID) {
+	if _, ok := o.holders[client]; ok {
+		t.holds--
+	}
+	delete(o.holders, client)
 }
 
 // NewTable creates an empty lock table that revokes through d.
@@ -109,7 +129,7 @@ func (t *Table) Acquire(client msg.NodeID, ino msg.ObjectID, mode msg.LockMode, 
 	// Grant immediately only if compatible AND no one is queued ahead
 	// (prevents starvation of queued exclusives by a stream of shares).
 	if len(o.waiters) == 0 && o.compatible(client, mode) {
-		o.holders[client] = mode
+		t.setHold(o, client, mode)
 		grant(mode)
 		return true
 	}
@@ -178,7 +198,7 @@ func (t *Table) Install(client msg.NodeID, ino msg.ObjectID, mode msg.LockMode) 
 		return false
 	}
 	if cur, ok := o.holders[client]; !ok || mode > cur {
-		o.holders[client] = mode
+		t.setHold(o, client, mode)
 	}
 	return true
 }
@@ -220,9 +240,9 @@ func (t *Table) Downgraded(client msg.NodeID, ino msg.ObjectID, to msg.LockMode,
 
 func (t *Table) setMode(ino msg.ObjectID, o *objLock, client msg.NodeID, to msg.LockMode) {
 	if to == msg.LockNone {
-		delete(o.holders, client)
+		t.delHold(o, client)
 	} else {
-		o.holders[client] = to
+		t.setHold(o, client, to)
 	}
 	if d, ok := o.demanded[client]; ok && to <= d.to {
 		delete(o.demanded, client)
@@ -245,7 +265,7 @@ func (t *Table) promote(ino msg.ObjectID, o *objLock) {
 			return
 		}
 		o.waiters = o.waiters[1:]
-		o.holders[w.client] = w.mode
+		t.setHold(o, w.client, w.mode)
 		w.grant(w.mode)
 	}
 }
@@ -266,7 +286,7 @@ func (t *Table) StealAll(client msg.NodeID) []msg.ObjectID {
 		o := t.objects[ino]
 		changed := false
 		if _, ok := o.holders[client]; ok {
-			delete(o.holders, client)
+			t.delHold(o, client)
 			stolen = append(stolen, ino)
 			changed = true
 		}
@@ -341,6 +361,10 @@ func (t *Table) LocksHeldBy(client msg.NodeID) int {
 	}
 	return n
 }
+
+// HeldCount returns the total number of (client, object) holder entries
+// in the table — the value behind the server.<id>.locks_held gauge.
+func (t *Table) HeldCount() int { return t.holds }
 
 // Objects returns the number of objects with any lock state.
 func (t *Table) Objects() int { return len(t.objects) }

@@ -10,6 +10,12 @@ type Allocator struct {
 	next  int // round-robin cursor
 	inUse map[msg.BlockRef]bool
 	frees map[msg.NodeID][]uint64 // returned blocks, reused before fresh ones
+	// foreign tracks blocks adopted from another shard's allocator via a
+	// cross-shard handoff. They are never candidates for reuse here: the
+	// home allocator still counts them in-use, so reissuing one would
+	// double-allocate the disk block. Freeing a foreign block just
+	// retires the reference.
+	foreign map[msg.BlockRef]bool
 }
 
 type diskSpace struct {
@@ -21,8 +27,9 @@ type diskSpace struct {
 // NewAllocator creates an allocator over the given disks.
 func NewAllocator(disks map[msg.NodeID]uint64) *Allocator {
 	a := &Allocator{
-		inUse: make(map[msg.BlockRef]bool),
-		frees: make(map[msg.NodeID][]uint64),
+		inUse:   make(map[msg.BlockRef]bool),
+		frees:   make(map[msg.NodeID][]uint64),
+		foreign: make(map[msg.BlockRef]bool),
 	}
 	// Deterministic order regardless of map iteration.
 	for id := msg.NodeID(1); len(a.disks) < len(disks); id++ {
@@ -76,14 +83,31 @@ func (a *Allocator) allocOne() (msg.BlockRef, bool) {
 }
 
 // Free returns blocks to the allocator. Double frees panic: they are
-// always a metadata-integrity bug.
+// always a metadata-integrity bug. Foreign (adopted) blocks are retired
+// without entering the free list — only their home allocator may reuse
+// them.
 func (a *Allocator) Free(refs []msg.BlockRef) {
 	for _, ref := range refs {
-		if !a.inUse[ref] {
-			panic("meta: double free of block")
+		if a.inUse[ref] {
+			delete(a.inUse, ref)
+			a.frees[ref.Disk] = append(a.frees[ref.Disk], ref.Num)
+			continue
 		}
-		delete(a.inUse, ref)
-		a.frees[ref.Disk] = append(a.frees[ref.Disk], ref.Num)
+		if a.foreign[ref] {
+			delete(a.foreign, ref)
+			continue
+		}
+		panic("meta: double free of block")
+	}
+}
+
+// Adopt registers blocks that were allocated by another shard's
+// allocator and arrived here through a cross-shard handoff. Adopted
+// blocks keep their original disk addresses (file data never moves);
+// they are tracked only so Free tolerates them.
+func (a *Allocator) Adopt(refs []msg.BlockRef) {
+	for _, ref := range refs {
+		a.foreign[ref] = true
 	}
 }
 

@@ -45,15 +45,31 @@ type Store struct {
 	// across server restarts (the store lives on the server's private
 	// highly-available storage, §6).
 	epochSeq msg.Epoch
+	// autoParents makes Create materialize missing ancestor directories.
+	// Sharded authorities enable it: placement maps a file to a shard by
+	// its full path, so a shard may be asked to create /a/b/c without
+	// ever having been asked for /a — the directory skeleton is
+	// replicated lazily per shard (DESIGN.md §14).
+	autoParents bool
+	// Cross-shard handoff ledgers (see export.go). Durable: they live in
+	// the Store precisely so a crash mid-handoff can be resolved on
+	// restart without double-owning or orphaning the file.
+	exports   map[uint64]*Export
+	exportSeq uint64
+	migrating map[msg.ObjectID]uint64
+	imports   map[importKey]msg.Errno
 }
 
 // NewStore creates a store containing only the root directory, allocating
 // file blocks from alloc.
 func NewStore(alloc *Allocator) *Store {
 	s := &Store{
-		inodes:  make(map[msg.ObjectID]*Inode),
-		nextIno: RootIno + 1,
-		alloc:   alloc,
+		inodes:    make(map[msg.ObjectID]*Inode),
+		nextIno:   RootIno + 1,
+		alloc:     alloc,
+		exports:   make(map[uint64]*Export),
+		migrating: make(map[msg.ObjectID]uint64),
+		imports:   make(map[importKey]msg.Errno),
 	}
 	s.inodes[RootIno] = &Inode{
 		Ino: RootIno, IsDir: true, Nlink: 2,
@@ -138,8 +154,42 @@ func (s *Store) lookupParent(path string) (*Inode, string, msg.Errno) {
 	return cur, name, msg.OK
 }
 
-// Create makes a new file or directory at path. The parent must exist.
+// SetAutoParents toggles lazy materialization of ancestor directories
+// on Create (see the autoParents field).
+func (s *Store) SetAutoParents(on bool) { s.autoParents = on }
+
+// ensureParents creates any missing ancestor directories of path.
+func (s *Store) ensureParents(path string) {
+	parts, ok := SplitPath(path)
+	if !ok || len(parts) < 2 {
+		return
+	}
+	cur := s.inodes[RootIno]
+	for _, name := range parts[:len(parts)-1] {
+		if !cur.IsDir {
+			return
+		}
+		if next, ok := cur.children[name]; ok {
+			cur = s.inodes[next]
+			continue
+		}
+		in := &Inode{Ino: s.nextIno, IsDir: true, Nlink: 2,
+			children: make(map[string]msg.ObjectID)}
+		s.nextIno++
+		s.inodes[in.Ino] = in
+		cur.children[name] = in.Ino
+		cur.Nlink++
+		cur.Version++
+		cur = in
+	}
+}
+
+// Create makes a new file or directory at path. The parent must exist,
+// unless auto-parents is on (then missing ancestors are materialized).
 func (s *Store) Create(path string, isDir bool) (*Inode, msg.Errno) {
+	if s.autoParents {
+		s.ensureParents(path)
+	}
 	parent, name, errno := s.lookupParent(path)
 	if errno != msg.OK {
 		return nil, errno

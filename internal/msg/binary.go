@@ -74,6 +74,8 @@ const (
 	btDLockAcquire
 	btDLockRelease
 	btDLockRes
+	btShardMigrate
+	btShardMigrateRes
 )
 
 // Nested result identifiers for Reply bodies. brNil means Body == nil.
@@ -198,6 +200,10 @@ func BinarySize(env *Envelope) (meta int, tail []byte, err error) {
 	case *DLockRelease:
 		meta = 24
 	case *DLockRes:
+		meta = 9
+	case *ShardMigrate:
+		meta = 49 + len(m.Path) + 12*len(m.Blocks)
+	case *ShardMigrateRes:
 		meta = 9
 	default:
 		return 0, nil, ErrNoBinaryLayout
@@ -522,6 +528,21 @@ func EncodeBinary(dst []byte, env *Envelope) error {
 	case *DLockRes:
 		w.u8(btDLockRes)
 		w.u64(uint64(m.Req))
+		w.u8(uint8(m.Err))
+	case *ShardMigrate:
+		w.u8(btShardMigrate)
+		w.i32(int32(m.Src))
+		w.u64(m.HID)
+		w.str(m.Path)
+		w.attr(&m.Attr)
+		w.u32(uint32(len(m.Blocks)))
+		for i := range m.Blocks {
+			w.i32(int32(m.Blocks[i].Disk))
+			w.u64(m.Blocks[i].Num)
+		}
+	case *ShardMigrateRes:
+		w.u8(btShardMigrateRes)
+		w.u64(m.HID)
 		w.u8(uint8(m.Err))
 	default:
 		return ErrNoBinaryLayout
@@ -881,6 +902,18 @@ func DecodeBinary(body []byte) (*Envelope, error) {
 			Start: r.u64(), Count: r.u32()}
 	case btDLockRes:
 		p = &DLockRes{Req: ReqID(r.u64()), Err: Errno(r.u8())}
+	case btShardMigrate:
+		m := &ShardMigrate{Src: NodeID(r.i32()), HID: r.u64(),
+			Path: r.str(), Attr: r.attr()}
+		if n := r.count(12); n > 0 {
+			m.Blocks = make([]BlockRef, n)
+			for i := range m.Blocks {
+				m.Blocks[i] = BlockRef{Disk: NodeID(r.i32()), Num: r.u64()}
+			}
+		}
+		p = m
+	case btShardMigrateRes:
+		p = &ShardMigrateRes{HID: r.u64(), Err: Errno(r.u8())}
 	default:
 		return nil, ErrCorruptFrame
 	}

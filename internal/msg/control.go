@@ -439,3 +439,37 @@ type DemandAck struct {
 
 func (*DemandAck) Kind() Kind { return KindDemandAck }
 func (*DemandAck) Size() int  { return 12 }
+
+// --- Server-to-server (shard handoff) ---------------------------------------
+
+// ShardMigrate hands a file's metadata from one lease authority to
+// another for a cross-shard rename: the source shard (Src) asks the
+// destination to install the object at Path with the given attributes
+// and block map. HID is a durable per-source handoff identifier; the
+// destination installs at most once per (Src, HID), so the source may
+// retransmit until answered. Blocks keep their original disk addresses —
+// file data never moves during a handoff.
+type ShardMigrate struct {
+	Src    NodeID
+	HID    uint64
+	Path   string
+	Attr   Attr
+	Blocks []BlockRef
+}
+
+func (*ShardMigrate) Kind() Kind { return KindShard }
+func (m *ShardMigrate) Size() int {
+	return 49 + len(m.Path) + 12*len(m.Blocks)
+}
+
+// ShardMigrateRes answers a ShardMigrate: OK means the object now exists
+// at the destination shard (installed by this message or an earlier
+// duplicate) and the source may unlink its copy; any other Errno aborts
+// the handoff and the source keeps ownership.
+type ShardMigrateRes struct {
+	HID uint64
+	Err Errno
+}
+
+func (*ShardMigrateRes) Kind() Kind { return KindShard }
+func (*ShardMigrateRes) Size() int  { return 9 }

@@ -142,6 +142,7 @@ const (
 	KindSANReply                     // disk's reply
 	KindFence                        // fence administration on the SAN
 	KindLeaseAdmin                   // baseline lease traffic (heartbeats, per-object renewals)
+	KindShard                        // server-to-server shard handoff traffic
 )
 
 var kindNames = [...]string{
@@ -154,6 +155,7 @@ var kindNames = [...]string{
 	KindSANReply:     "san-reply",
 	KindFence:        "fence",
 	KindLeaseAdmin:   "lease-admin",
+	KindShard:        "shard",
 }
 
 func (k Kind) String() string {

@@ -18,6 +18,8 @@ func AllMessages() []Message {
 		&Reply{},
 		// Server-initiated.
 		&Demand{}, &DemandAck{},
+		// Server-to-server shard handoff.
+		&ShardMigrate{}, &ShardMigrateRes{},
 		// SAN.
 		&DiskRead{}, &DiskReadRes{}, &DiskWrite{}, &DiskWriteRes{},
 		&DiskWriteV{}, &DiskWriteVRes{}, &DiskReadV{}, &DiskReadVRes{},

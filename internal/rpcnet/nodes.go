@@ -1,7 +1,9 @@
 package rpcnet
 
 import (
+	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -90,8 +92,26 @@ type Topology struct {
 	// ServerAddr is the control-network address the server listens on and
 	// clients dial ("host:port"; port 0 picks an ephemeral port).
 	ServerAddr string
+	// Servers, when set, is the full address book of a sharded
+	// installation: every lease authority's control address, including
+	// this installation's own. Server nodes dial it for cross-shard
+	// handoffs, and StartShardClientNode runs one protocol instance per
+	// entry. Nil for a single-authority installation.
+	Servers map[msg.NodeID]string
 	// Disks maps each disk's node ID to its SAN listen address.
 	Disks map[msg.NodeID]string
+}
+
+// ServerIDs returns the sharded address book's authority IDs in sorted
+// order — the canonical shard enumeration every node must agree on for
+// hash placement to be consistent installation-wide.
+func (t Topology) ServerIDs() []msg.NodeID {
+	ids := make([]msg.NodeID, 0, len(t.Servers))
+	for id := range t.Servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NodeSpec identifies one node within a topology.
@@ -254,7 +274,9 @@ type ServerNode struct {
 func StartServerNode(spec NodeSpec, cfg server.Config, opts ...Option) (*ServerNode, error) {
 	o := buildOptions(opts)
 	n := &ServerNode{Exec: NewExecutor(), Reg: o.reg}
-	n.Ctrl = New(spec.ID, nil, func(env msg.Envelope) { n.Srv.Deliver(env) })
+	// Peer authorities (if any) are dialable for cross-shard handoffs;
+	// client connections are still learned from inbound Hello frames.
+	n.Ctrl = New(spec.ID, spec.Topo.Servers, func(env msg.Envelope) { n.Srv.Deliver(env) })
 	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Srv.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
 	n.SAN.UseExecutor(n.Exec)
@@ -388,6 +410,137 @@ func (n *ClientNode) Sync(timeout time.Duration) *client.SyncClient {
 
 // Close shuts the node down.
 func (n *ClientNode) Close() {
+	n.Ctrl.Close()
+	n.SAN.Close()
+	n.Exec.Close()
+}
+
+// ShardClientNode is a live client of a sharded installation: one
+// protocol instance — lease, locks, cache, SAN request-ID space — per
+// lease authority in Topo.Servers, all sharing the node's ID, executor,
+// and two transports. The same client-side router as the simulated
+// shard.Node: inbound control traffic routes by source authority, disk
+// replies by the request ID's per-shard base (disk identity cannot
+// route them — a handed-off file's blocks stay on the source shard's
+// disks).
+type ShardClientNode struct {
+	// Subs maps each authority to the node's protocol instance for it.
+	Subs  map[msg.NodeID]*client.Client
+	byIdx []*client.Client
+	route func(path string) msg.NodeID
+	Ctrl  *Transport
+	SAN   *Transport
+	Exec  *Executor
+	Reg   *stats.Registry
+	tmo   sim.Clock
+}
+
+// StartShardClientNode launches client spec.ID against every authority
+// in spec.Topo.Servers. route maps a path to the node ID of its owning
+// authority (hash placement over Topo.ServerIDs(), ordinarily) and must
+// agree with the servers' own placement map.
+func StartShardClientNode(spec NodeSpec, cfg client.Config, route func(path string) msg.NodeID,
+	opts ...Option) (*ShardClientNode, error) {
+	if len(spec.Topo.Servers) == 0 {
+		return nil, fmt.Errorf("rpcnet: shard client needs Topo.Servers")
+	}
+	o := buildOptions(opts)
+	n := &ShardClientNode{
+		Subs:  make(map[msg.NodeID]*client.Client, len(spec.Topo.Servers)),
+		route: route,
+		Exec:  NewExecutor(),
+		Reg:   o.reg,
+	}
+	n.Ctrl = New(spec.ID, spec.Topo.Servers, n.deliverCtrl)
+	n.SAN = New(spec.ID, spec.Topo.Disks, n.deliverSAN)
+	n.Ctrl.UseExecutor(n.Exec)
+	n.SAN.UseExecutor(n.Exec)
+	o.applyControl(n.Ctrl)
+	o.applySAN(n.SAN)
+	clock := o.clock
+	if clock == nil {
+		clock = n.Ctrl.Clock()
+		n.tmo = sim.NewRealClock(nil)
+	} else {
+		n.tmo = clock
+	}
+	for i, sid := range spec.Topo.ServerIDs() {
+		subCfg := cfg
+		subCfg.SANReqBase = msg.ReqID(i+1) << 48
+		sub := client.New(spec.ID, sid, subCfg, clock,
+			n.Ctrl.Send, n.SAN.Send, nil, n.Reg, o.tracer)
+		n.Subs[sid] = sub
+		n.byIdx = append(n.byIdx, sub)
+	}
+	go n.Exec.Run()
+	return n, nil
+}
+
+func (n *ShardClientNode) deliverCtrl(env msg.Envelope) {
+	if sub, ok := n.Subs[env.From]; ok {
+		sub.Deliver(env)
+	}
+}
+
+func (n *ShardClientNode) deliverSAN(env msg.Envelope) {
+	var req msg.ReqID
+	switch m := env.Payload.(type) {
+	case *msg.DiskReadRes:
+		req = m.Req
+	case *msg.DiskWriteRes:
+		req = m.Req
+	case *msg.DiskReadVRes:
+		req = m.Req
+	case *msg.DiskWriteVRes:
+		req = m.Req
+	case *msg.FenceRes:
+		req = m.Req
+	case *msg.DLockRes:
+		req = m.Req
+	default:
+		return
+	}
+	if si := int(req>>48) - 1; si >= 0 && si < len(n.byIdx) {
+		n.byIdx[si].DeliverSAN(env)
+	}
+}
+
+// Route returns the protocol instance serving the authority that owns
+// path (nil if the route function maps it to no known authority).
+func (n *ShardClientNode) Route(path string) *client.Client {
+	return n.Subs[n.route(path)]
+}
+
+// Do runs fn on the node's executor and returns immediately.
+func (n *ShardClientNode) Do(fn func()) { n.Exec.Submit(fn) }
+
+// Start registers every protocol instance with its authority, blocking
+// until all have recovered or timeout passes (0 = a default 30s).
+func (n *ShardClientNode) Start(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ch := make(chan struct{}, len(n.byIdx))
+	n.Exec.Submit(func() {
+		for _, sub := range n.byIdx {
+			sub := sub
+			sub.OnRecovered = func(msg.Epoch) { ch <- struct{}{} }
+			sub.Start()
+		}
+	})
+	deadline := sim.After(n.tmo, timeout)
+	for range n.byIdx {
+		select {
+		case <-ch:
+		case <-deadline:
+			return fmt.Errorf("rpcnet: shard client registration timed out")
+		}
+	}
+	return nil
+}
+
+// Close shuts the node down.
+func (n *ShardClientNode) Close() {
 	n.Ctrl.Close()
 	n.SAN.Close()
 	n.Exec.Close()

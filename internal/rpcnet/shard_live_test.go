@@ -1,0 +1,297 @@
+package rpcnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/msg"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// liveShards boots a sharded installation over real TCP: two lease
+// authorities (IDs 1 and 2) with one SAN disk each, the namespace split
+// by subtree (/s0 → server 1, /s1 → server 2), and n shard client
+// nodes. The shared Servers address book is what lets the authorities
+// dial each other for cross-shard handoffs.
+type liveShards struct {
+	srvs    []*ServerNode
+	disks   []*DiskNode
+	clients []*ShardClientNode
+	place   shard.Subtree
+}
+
+func startLiveShards(t *testing.T, nClients int, cfg core.Config, opts ...Option) *liveShards {
+	t.Helper()
+	ls := &liveShards{
+		place: shard.Subtree{Prefixes: map[string]int{"/s0": 0, "/s1": 1}},
+	}
+	servers := map[msg.NodeID]string{}
+	topo := Topology{Servers: servers, Disks: map[msg.NodeID]string{}}
+	allCaps := map[msg.NodeID]uint64{}
+	diskCaps := make([]map[msg.NodeID]uint64, 2)
+	for si := 0; si < 2; si++ {
+		id := msg.NodeID(1000 + si)
+		topo.Disks[id] = Loopback()
+		dn, err := StartDiskNode(NodeSpec{ID: id, Topo: topo}, disk.Config{Blocks: 1 << 12}, opts...)
+		if err != nil {
+			t.Fatalf("disk %d: %v", si, err)
+		}
+		ls.disks = append(ls.disks, dn)
+		topo.Disks[id] = dn.Addr.String()
+		allCaps[id] = 1 << 12
+		diskCaps[si] = map[msg.NodeID]uint64{id: 1 << 12}
+	}
+	owner := func(path string) msg.NodeID {
+		idx, ok := ls.place.Owner(path)
+		if !ok {
+			return msg.None
+		}
+		return msg.NodeID(1 + idx)
+	}
+	for si := 0; si < 2; si++ {
+		id := msg.NodeID(1 + si)
+		stopo := topo
+		stopo.Server = id
+		stopo.ServerAddr = Loopback()
+		sn, err := StartServerNode(NodeSpec{ID: id, Topo: stopo}, server.Config{
+			Core: cfg, Disks: diskCaps[si], PlaceOwner: owner, FenceDisks: allCaps,
+		}, opts...)
+		if err != nil {
+			t.Fatalf("server %d: %v", si, err)
+		}
+		ls.srvs = append(ls.srvs, sn)
+		// Fill the shared address book as authorities come up; both
+		// entries are present before any traffic (handoff dials included)
+		// flows.
+		servers[id] = sn.Addr.String()
+	}
+	for i := 0; i < nClients; i++ {
+		cn, err := StartShardClientNode(NodeSpec{ID: msg.NodeID(10 + i), Topo: topo},
+			client.Config{Core: cfg}, owner, opts...)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		ls.clients = append(ls.clients, cn)
+	}
+	t.Cleanup(ls.close)
+	return ls
+}
+
+func (ls *liveShards) close() {
+	for _, c := range ls.clients {
+		c.Close()
+	}
+	for _, s := range ls.srvs {
+		s.Close()
+	}
+	for _, d := range ls.disks {
+		d.Close()
+	}
+}
+
+// clientOp runs fn on client i's executor against the sub owning path
+// and waits for done.
+func (ls *liveShards) clientOp(t *testing.T, i int, path string, fn func(sub *client.Client, done func())) {
+	t.Helper()
+	cn := ls.clients[i]
+	ch := make(chan struct{}, 1)
+	cn.Do(func() {
+		sub := cn.Route(path)
+		if sub == nil {
+			t.Errorf("no route for %s", path)
+			ch <- struct{}{}
+			return
+		}
+		fn(sub, func() { ch <- struct{}{} })
+	})
+	select {
+	case <-ch:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("client %d op on %s timed out", i, path)
+	}
+}
+
+func (ls *liveShards) open(t *testing.T, i int, path string, write, create bool) msg.Handle {
+	t.Helper()
+	var h msg.Handle
+	ls.clientOp(t, i, path, func(sub *client.Client, done func()) {
+		sub.Open(path, write, create, func(gh msg.Handle, _ msg.Attr, e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("open %s: %v", path, e)
+			}
+			h = gh
+			done()
+		})
+	})
+	return h
+}
+
+func (ls *liveShards) write(t *testing.T, i int, path string, h msg.Handle, idx uint64, data []byte) {
+	t.Helper()
+	ls.clientOp(t, i, path, func(sub *client.Client, done func()) {
+		sub.Write(h, idx, data, func(e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("write %s: %v", path, e)
+			}
+			done()
+		})
+	})
+}
+
+func (ls *liveShards) read(t *testing.T, i int, path string, h msg.Handle, idx uint64) []byte {
+	t.Helper()
+	var out []byte
+	ls.clientOp(t, i, path, func(sub *client.Client, done func()) {
+		sub.Read(h, idx, func(data []byte, e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("read %s: %v", path, e)
+			}
+			out = append([]byte(nil), data...)
+			done()
+		})
+	})
+	return out
+}
+
+// TestLiveShardCrossRename drives the full cross-shard handoff over
+// real TCP: write on shard 0, release the lock, mv into shard 1's
+// namespace, read the bytes back through the other authority — then
+// check the handshake order on the shared trace bus.
+func TestLiveShardCrossRename(t *testing.T) {
+	ring := trace.NewRing(1 << 14)
+	cfg := liveCore()
+	ls := startLiveShards(t, 1, cfg, WithTracer(trace.New(ring)))
+	if err := ls.clients[0].Start(0); err != nil {
+		t.Fatal(err)
+	}
+
+	h := ls.open(t, 0, "/s0/file", true, true)
+	payload := bytes.Repeat([]byte{'H'}, 512)
+	ls.write(t, 0, "/s0/file", h, 0, payload)
+	ls.clientOp(t, 0, "/s0/file", func(sub *client.Client, done func()) {
+		sub.Sync(func(e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("sync: %v", e)
+			}
+			done()
+		})
+	})
+	var ino msg.ObjectID
+	ls.clientOp(t, 0, "/s0/file", func(sub *client.Client, done func()) {
+		sub.Lookup("/s0/file", func(attr msg.Attr, e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("lookup: %v", e)
+			}
+			ino = attr.Ino
+			done()
+		})
+	})
+	ls.clientOp(t, 0, "/s0/file", func(sub *client.Client, done func()) {
+		sub.ReleaseLock(ino, func(e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("release: %v", e)
+			}
+			done()
+		})
+	})
+
+	// The mv: routed to the authority owning the OLD path, which runs
+	// the handoff with its peer before answering.
+	ls.clientOp(t, 0, "/s0/file", func(sub *client.Client, done func()) {
+		sub.Rename("/s0/file", "/s1/file", func(e msg.Errno) {
+			if e != msg.OK {
+				t.Errorf("cross-shard rename: %v", e)
+			}
+			done()
+		})
+	})
+
+	// Old name gone (asked of shard 0), new name serves the bytes
+	// (asked of shard 1 — a different TCP connection, different lease).
+	ls.clientOp(t, 0, "/s0/file", func(sub *client.Client, done func()) {
+		sub.Lookup("/s0/file", func(_ msg.Attr, e msg.Errno) {
+			if e != msg.ErrNoEnt {
+				t.Errorf("old name after mv: %v, want ErrNoEnt", e)
+			}
+			done()
+		})
+	})
+	rh := ls.open(t, 0, "/s1/file", false, false)
+	if got := ls.read(t, 0, "/s1/file", rh, 0); !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatal("payload corrupted across the handoff")
+	}
+
+	events := ring.Events()
+	if n := events.Count(trace.ByNode(2), trace.ByType(trace.EvShardInstall)); n != 1 {
+		t.Fatalf("installed %d times, want 1", n)
+	}
+	if err := events.Precedes(
+		trace.And(trace.ByNode(1), trace.ByType(trace.EvShardHandoff)),
+		trace.And(trace.ByNode(2), trace.ByType(trace.EvShardInstall))); err != nil {
+		t.Fatalf("handoff/install ordering on live transport: %v", err)
+	}
+	if err := events.Precedes(
+		trace.And(trace.ByNode(2), trace.ByType(trace.EvShardInstall)),
+		trace.And(trace.ByNode(1), trace.ByType(trace.EvShardDone))); err != nil {
+		t.Fatalf("install/done ordering on live transport: %v", err)
+	}
+}
+
+// TestLiveShardTheorem31PerShard is the paper's safety theorem per
+// authority on the live stack: a shard client dirty on BOTH shards is
+// cut off; each authority independently steals, and each steal is
+// preceded by the client's expiry of that specific pair's lease.
+func TestLiveShardTheorem31PerShard(t *testing.T) {
+	ring := trace.NewRing(1 << 14)
+	cfg := liveCore()
+	cfg.Tau = 1500 * time.Millisecond
+	ls := startLiveShards(t, 2, cfg, WithTracer(trace.New(ring)))
+	for i := range ls.clients {
+		if err := ls.clients[i].Start(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h0 := ls.open(t, 0, "/s0/f", true, true)
+	h1 := ls.open(t, 0, "/s1/f", true, true)
+	ls.write(t, 0, "/s0/f", h0, 0, []byte("dirty-on-shard-0"))
+	ls.write(t, 0, "/s1/f", h1, 0, []byte("dirty-on-shard-1"))
+
+	// Cut client 0 off from BOTH authorities at once. Its executor,
+	// clocks, and SAN stay alive: each sub's lease state machine walks
+	// to expiry unattended and flushes to the disks.
+	ls.clients[0].Ctrl.Close()
+
+	// The survivor demands both files; opens complete only after each
+	// authority's steal.
+	g0 := ls.open(t, 1, "/s0/f", true, false)
+	ls.write(t, 1, "/s0/f", g0, 0, []byte("stolen-0"))
+	g1 := ls.open(t, 1, "/s1/f", true, false)
+	ls.write(t, 1, "/s1/f", g1, 0, []byte("stolen-1"))
+
+	events := ring.Events()
+	isolated := msg.NodeID(10)
+	for si := 0; si < 2; si++ {
+		sid := msg.NodeID(1 + si)
+		if n := events.Count(trace.ByNode(sid), trace.ByType(trace.EvStealFired),
+			trace.ByPeer(isolated)); n != 1 {
+			t.Fatalf("shard %d: steal fired %d times, want 1", si, n)
+		}
+		if err := events.Precedes(
+			trace.And(trace.ByNode(isolated), trace.ByType(trace.EvExpire), trace.ByPeer(sid)),
+			trace.And(trace.ByNode(sid), trace.ByType(trace.EvStealFired), trace.ByPeer(isolated)),
+		); err != nil {
+			t.Fatalf("Theorem 3.1 on live shard %d: %v", si, err)
+		}
+		exp, _ := events.First(trace.ByNode(isolated), trace.ByType(trace.EvExpire), trace.ByPeer(sid))
+		if exp.Note == "dirty" {
+			t.Fatalf("shard %d: expiry with the phase-4 flush incomplete", si)
+		}
+	}
+}

@@ -94,7 +94,7 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 			ack(errno, nil)
 			return
 		}
-		if s.locks.HoldersOf(in.Ino) > 0 {
+		if s.locks.HoldersOf(in.Ino) > 0 || s.store.Migrating(in.Ino) {
 			ack(msg.ErrConflict, nil)
 			return
 		}
@@ -104,6 +104,10 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		in, errno := s.store.Get(m.Ino)
 		if errno != msg.OK {
 			ack(errno, nil)
+			return
+		}
+		if s.store.Migrating(m.Ino) {
+			ack(msg.ErrConflict, nil)
 			return
 		}
 		s.nextHandle++
@@ -130,6 +134,10 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		ack(msg.OK, msg.AttrRes{Attr: in.Attr()})
 
 	case *msg.SetAttr:
+		if s.store.Migrating(m.Ino) {
+			ack(msg.ErrConflict, nil)
+			return
+		}
 		in, errno := s.store.SetSize(m.Ino, m.NewSize)
 		if errno != msg.OK {
 			ack(errno, nil)
@@ -138,12 +146,22 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		ack(msg.OK, msg.AttrRes{Attr: in.Attr()})
 
 	case *msg.Rename:
-		if in, e := s.store.Lookup(m.OldPath); e == msg.OK && s.locks.HoldersOf(in.Ino) > 0 {
+		in, e := s.store.Lookup(m.OldPath)
+		if e == msg.OK && s.locks.HoldersOf(in.Ino) > 0 {
 			// Like Unlink: path changes under an active lock holder are
 			// refused (clients cache nothing about paths, but keeping the
 			// rule uniform keeps recovery simple).
 			ack(msg.ErrConflict, nil)
 			return
+		}
+		if e == msg.OK && s.cfg.PlaceOwner != nil {
+			if s.store.Migrating(in.Ino) || s.cfg.PlaceOwner(m.NewPath) != s.id {
+				// The destination name belongs to another authority (or a
+				// handoff is already pending): run the cross-shard
+				// handoff protocol instead of a local move (shard.go).
+				s.crossShardRename(client, id, in, m)
+				return
+			}
 		}
 		ack(s.store.Rename(m.OldPath, m.NewPath), nil)
 
@@ -152,7 +170,8 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		// object exclusively first via the normal lock path — the server
 		// only checks that the requester is the sole holder.
 		if s.locks.HoldersOf(m.Ino) > 1 ||
-			(s.locks.HoldersOf(m.Ino) == 1 && s.locks.Held(client, m.Ino) == msg.LockNone) {
+			(s.locks.HoldersOf(m.Ino) == 1 && s.locks.Held(client, m.Ino) == msg.LockNone) ||
+			s.store.Migrating(m.Ino) {
 			ack(msg.ErrConflict, nil)
 			return
 		}
@@ -180,6 +199,10 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		ack(msg.OK, msg.BlocksRes{Attr: in.Attr(), Blocks: append([]msg.BlockRef(nil), in.Blocks...)})
 
 	case *msg.AllocBlocks:
+		if s.store.Migrating(m.Ino) {
+			ack(msg.ErrConflict, nil)
+			return
+		}
 		in, errno := s.store.AllocBlocks(m.Ino, m.Count)
 		if errno != msg.OK {
 			ack(errno, nil)
@@ -188,6 +211,10 @@ func (s *Server) execute(client msg.NodeID, id msg.ReqID, req msg.Request) {
 		ack(msg.OK, msg.AllocRes{Attr: in.Attr(), Blocks: append([]msg.BlockRef(nil), in.Blocks...)})
 
 	case *msg.LockAcquire:
+		if s.store.Migrating(m.Ino) {
+			ack(msg.ErrConflict, nil)
+			return
+		}
 		if s.InGrace() {
 			// A fresh grant during recovery could conflict with a lock an
 			// unreasserted (but still-leased) client holds. Defer until

@@ -196,6 +196,7 @@ func (s *Server) stealAndFence(client msg.NodeID, fence bool) {
 	if fence && !s.cfg.DisableFence {
 		s.setFence(client, true)
 	}
+	s.syncLocksHeld()
 }
 
 // setFence instructs every disk to fence/unfence the client.
@@ -206,8 +207,12 @@ func (s *Server) setFence(client msg.NodeID, on bool) {
 	} else {
 		delete(s.fencedClients, client)
 	}
-	disks := make([]msg.NodeID, 0, len(s.cfg.Disks))
-	for d := range s.cfg.Disks {
+	fenceDisks := s.cfg.Disks
+	if s.cfg.FenceDisks != nil {
+		fenceDisks = s.cfg.FenceDisks
+	}
+	disks := make([]msg.NodeID, 0, len(fenceDisks))
+	for d := range fenceDisks {
 		disks = append(disks, d)
 	}
 	sort.Slice(disks, func(i, j int) bool { return disks[i] < disks[j] })

@@ -55,6 +55,26 @@ type Config struct {
 	// pre-restart lease has provably expired, so unreasserted locks are
 	// safe to hand out.
 	GracePeriod time.Duration
+	// PlaceOwner, when set, makes this server one shard of a partitioned
+	// namespace: it maps an absolute path to the lease authority that
+	// owns it. A Rename whose destination resolves to another authority
+	// runs the cross-shard handoff (shard.go) instead of a local move,
+	// and Create materializes missing parents (each shard sees only its
+	// slice of the tree). Nil = sole authority, behavior unchanged.
+	PlaceOwner func(path string) msg.NodeID
+	// FenceDisks, when non-nil, is the full set of SAN disks fences are
+	// administered on. A shard allocates only from its own Disks, but a
+	// client it steals from may hold handed-off blocks on any disk, so
+	// shards fence installation-wide. Nil = fence on Disks.
+	FenceDisks map[msg.NodeID]uint64
+	// ServiceTime, when positive, models the server as a single-threaded
+	// request processor: control requests are serviced one at a time,
+	// ServiceTime each, FIFO. This is what makes a one-shard metadata
+	// authority saturate in the scale benchmark — with zero service time
+	// the simulated server has infinite capacity and sharding shows no
+	// curve. 0 preserves the immediate-execution behavior everywhere
+	// else.
+	ServiceTime time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -121,6 +141,14 @@ type Server struct {
 	sanPending map[msg.ReqID]*sanCall
 	nextSANReq msg.ReqID
 
+	// Outbound cross-shard handoffs awaiting the destination's answer
+	// (shard.go), keyed by durable handoff ID.
+	handoffs map[uint64]*pendingHandoff
+
+	// busyUntil serializes request execution when ServiceTime is set
+	// (the single-threaded-server model; see Config.ServiceTime).
+	busyUntil sim.Time
+
 	// graceUntil bounds the post-restart reassertion window (server
 	// clock); zero for a fresh (first-boot) server.
 	graceUntil sim.Time
@@ -144,6 +172,10 @@ type Server struct {
 	nacksSent    *stats.Counter
 	demandsSent  *stats.Counter
 	fences       *stats.Counter
+	// locksHeld mirrors the lock table's holder-entry count, named
+	// server.<id>.locks_held so a sharded installation's SIGUSR1 dump
+	// shows each authority's load side by side.
+	locksHeld *stats.Gauge
 }
 
 // New creates a server. reg and tr may be nil; tr receives the server's
@@ -179,6 +211,7 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		objLeases:     make(map[objLeaseKey]sim.Time),
 		vTimers:       make(map[msg.NodeID]sim.Timer),
 		sanPending:    make(map[msg.ReqID]*sanCall),
+		handoffs:      make(map[uint64]*pendingHandoff),
 
 		reg:          reg,
 		transactions: reg.Counter(prefix + "transactions"),
@@ -192,6 +225,7 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		nacksSent:    reg.Counter(prefix + "nacks_sent"),
 		demandsSent:  reg.Counter(prefix + "demands_sent"),
 		fences:       reg.Counter(prefix + "fences"),
+		locksHeld:    reg.Gauge(fmt.Sprintf("server.%v.locks_held", id)),
 	}
 	s.tracer = tr
 	s.locks = lock.NewTable(demanderFunc(s.sendDemand))
@@ -211,6 +245,16 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 			}
 			s.inRecovery = false
 		})
+	}
+	if cfg.PlaceOwner != nil {
+		s.store.SetAutoParents(true)
+		// Re-drive handoffs interrupted by a crash: the durable export
+		// records survive in the store, the destination's import ledger
+		// makes retransmission idempotent. The requesting client's reply
+		// is gone with the crash; it retries and attaches to the export.
+		for _, e := range s.store.PendingExports() {
+			s.resumeHandoff(e)
+		}
 	}
 	return s
 }
@@ -265,12 +309,48 @@ func (s *Server) Deliver(env msg.Envelope) {
 	s.bytesIn.Add(uint64(env.Payload.Size()))
 	switch m := env.Payload.(type) {
 	case msg.Request:
-		s.handleRequest(m)
+		s.withService(func() {
+			s.handleRequest(m)
+			s.syncLocksHeld()
+		})
 	case *msg.DemandAck:
 		s.handleDemandAck(m)
+	case *msg.ShardMigrate:
+		s.handleShardMigrate(m)
+	case *msg.ShardMigrateRes:
+		s.handleShardMigrateRes(m)
 	default:
 		// Unknown control traffic is dropped, like any datagram service.
 	}
+}
+
+// withService models the single-threaded request processor when
+// Config.ServiceTime is set: one request at a time, FIFO, like
+// disk.withService models the single actuator. Zero service time keeps
+// the historical execute-on-delivery behavior.
+func (s *Server) withService(fn func()) {
+	if s.cfg.ServiceTime <= 0 {
+		fn()
+		return
+	}
+	now := s.clock.Now()
+	start := now
+	if s.busyUntil.After(start) {
+		start = s.busyUntil
+	}
+	s.busyUntil = start.Add(s.cfg.ServiceTime)
+	s.clock.AfterFunc(s.busyUntil.Sub(now), func() {
+		if s.stopped {
+			return
+		}
+		fn()
+	})
+}
+
+// syncLocksHeld refreshes the per-shard locks_held gauge (O(1): the
+// table maintains the count incrementally).
+func (s *Server) syncLocksHeld() {
+	s.locksHeld.Set(int64(s.locks.HeldCount()))
 }
 
 // DeliverSAN is the server's SAN handler (fence acks, function-ship I/O

@@ -1,0 +1,168 @@
+package server
+
+// The cross-shard handoff protocol (DESIGN.md §14). A Rename whose
+// destination path is owned by another lease authority migrates the
+// file's metadata there in a two-shard ordered handshake:
+//
+//  1. The source refuses the rename outright if any client holds a lock
+//     on the object (the same rule as a local rename), then writes a
+//     durable Export record and marks the inode migrating — from this
+//     instant every operation on it is refused with ErrConflict, so no
+//     new lock or block can be granted against state that is leaving.
+//  2. The source transmits ShardMigrate{Src, HID, Path, Attr, Blocks}
+//     and retries on a timer until answered — like sanSend, delivery
+//     errors are invisible; only an answer settles the handoff.
+//  3. The destination installs the object under a fresh local inode,
+//     records the (Src, HID) outcome in its durable import ledger, and
+//     replies. Duplicate ShardMigrates — retransmissions, or replays
+//     after the destination restarts — are answered from the ledger,
+//     never installed twice.
+//  4. On an OK answer the source unlinks its copy (blocks stay at their
+//     original disk addresses, permanently retired from the source's
+//     allocator) and ACKs the waiting client. On an error answer the
+//     source aborts the export and the object stays put.
+//
+// Either shard may crash at any point. The source's Export records and
+// the destination's import ledger live in the durable metadata store, so
+// a restarted source re-drives its pending handoffs (server.New) and a
+// restarted destination answers retransmissions idempotently. Exactly
+// one shard owns the file at every instant: until CompleteExport runs at
+// the source the object is owned (but frozen) there, and CompleteExport
+// runs only after the destination durably owns it — so the overlap is
+// dual-frozen, never dual-served, and a lost answer leaves the source
+// owner, never nobody.
+
+import (
+	"strconv"
+
+	"repro/internal/meta"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// pendingHandoff is one outbound handoff awaiting the destination's
+// answer. client/req name the requester to ACK on settlement; they are
+// zero for a handoff re-driven after a restart (the original reply died
+// with the crash — the client's retried Rename re-attaches).
+type pendingHandoff struct {
+	hid    uint64
+	dest   msg.NodeID
+	timer  sim.Timer
+	client msg.NodeID
+	req    msg.ReqID
+}
+
+// crossShardRename begins (or re-attaches to) the handoff migrating the
+// object at m.OldPath to the authority owning m.NewPath.
+func (s *Server) crossShardRename(client msg.NodeID, id msg.ReqID, in *meta.Inode, m *msg.Rename) {
+	if in.IsDir {
+		// Single-inode migration only: a directory's subtree may span
+		// authorities, and migrating it atomically is a different
+		// protocol. Callers place directories by subtree instead.
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.ErrIsDir})
+		return
+	}
+	if e := s.store.ExportFor(in.Ino); e != nil {
+		// A handoff for this object is already pending. The identical
+		// rename (a client retry whose reply-cache entry died with a
+		// crash) re-attaches as the requester to answer; any other
+		// operation conflicts with the migration.
+		if e.OldPath == m.OldPath && e.NewPath == m.NewPath {
+			if ph := s.handoffs[e.HID]; ph != nil {
+				ph.client, ph.req = client, id
+				return
+			}
+		}
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.ErrConflict})
+		return
+	}
+	dest := s.cfg.PlaceOwner(m.NewPath)
+	if dest == msg.None {
+		// The placement map routes no authority for the destination name
+		// (a subtree placement miss): nothing could ever serve it.
+		s.reply(client, id, &msg.Reply{Status: msg.ACK, Err: msg.ErrNoEnt})
+		return
+	}
+	e := s.store.BeginExport(in.Ino, dest, m.OldPath, m.NewPath)
+	s.emit(trace.Event{Type: trace.EvShardHandoff, Peer: dest, Ino: in.Ino,
+		Note: "hid=" + strconv.FormatUint(e.HID, 10)})
+	ph := &pendingHandoff{hid: e.HID, dest: dest, client: client, req: id}
+	s.handoffs[e.HID] = ph
+	s.transmitHandoff(ph, e)
+}
+
+// resumeHandoff re-drives a durable export found at restart.
+func (s *Server) resumeHandoff(e *meta.Export) {
+	ph := &pendingHandoff{hid: e.HID, dest: e.Dest}
+	s.handoffs[e.HID] = ph
+	s.transmitHandoff(ph, e)
+}
+
+// transmitHandoff sends the migrate message and arms retransmission.
+// Like sanSend it retries until answered: the export is durable and the
+// destination's ledger makes duplicates harmless, so persistence — not
+// a retry budget — is the correct policy.
+func (s *Server) transmitHandoff(ph *pendingHandoff, e *meta.Export) {
+	in, errno := s.store.Get(e.Ino)
+	if errno != msg.OK {
+		// Unreachable while the export pins the inode; settle
+		// defensively as an abort rather than retrying forever.
+		s.settleHandoff(ph, &msg.ShardMigrateRes{HID: e.HID, Err: errno})
+		return
+	}
+	s.send(e.Dest, &msg.ShardMigrate{Src: s.id, HID: e.HID, Path: e.NewPath,
+		Attr: in.Attr(), Blocks: append([]msg.BlockRef(nil), in.Blocks...)})
+	ph.timer = s.clock.AfterFunc(s.cfg.Core.RetryInterval, func() {
+		if s.stopped || s.handoffs[ph.hid] != ph {
+			return
+		}
+		s.transmitHandoff(ph, e)
+	})
+}
+
+// handleShardMigrate is the destination half: install once, answer from
+// the durable ledger ever after.
+func (s *Server) handleShardMigrate(m *msg.ShardMigrate) {
+	if errno, done := s.store.ImportResult(m.Src, m.HID); done {
+		s.send(m.Src, &msg.ShardMigrateRes{HID: m.HID, Err: errno})
+		return
+	}
+	in, errno := s.store.Install(m.Path, m.Attr, m.Blocks)
+	s.store.RecordImport(m.Src, m.HID, errno)
+	if errno == msg.OK {
+		s.emit(trace.Event{Type: trace.EvShardInstall, Peer: m.Src, Ino: in.Ino,
+			Note: "hid=" + strconv.FormatUint(m.HID, 10)})
+	}
+	s.send(m.Src, &msg.ShardMigrateRes{HID: m.HID, Err: errno})
+}
+
+// handleShardMigrateRes settles an outbound handoff.
+func (s *Server) handleShardMigrateRes(m *msg.ShardMigrateRes) {
+	if ph, ok := s.handoffs[m.HID]; ok {
+		s.settleHandoff(ph, m)
+	}
+}
+
+func (s *Server) settleHandoff(ph *pendingHandoff, m *msg.ShardMigrateRes) {
+	if ph.timer != nil {
+		ph.timer.Stop()
+	}
+	delete(s.handoffs, ph.hid)
+	e := s.store.Export(ph.hid)
+	if e == nil {
+		return
+	}
+	note := "hid=" + strconv.FormatUint(ph.hid, 10)
+	if m.Err == msg.OK {
+		s.emit(trace.Event{Type: trace.EvShardDone, Peer: ph.dest, Ino: e.Ino, Note: note})
+		s.store.CompleteExport(ph.hid)
+	} else {
+		s.emit(trace.Event{Type: trace.EvShardAbort, Peer: ph.dest, Ino: e.Ino,
+			Note: note + " " + m.Err.String()})
+		s.store.AbortExport(ph.hid)
+	}
+	if ph.client != 0 {
+		s.reply(ph.client, ph.req, &msg.Reply{Status: msg.ACK, Err: m.Err})
+	}
+}

@@ -1,4 +1,4 @@
-package multiserver
+package shard
 
 import (
 	"bytes"
@@ -17,8 +17,18 @@ func block(b byte) []byte {
 	return buf
 }
 
+// subtreeOptions splits the namespace by subtree — /s0 on shard 0, /s1
+// on shard 1 — so a test can aim an operation at a specific authority
+// by path. (DefaultOptions uses Hash, which is total: good for routing
+// transparency, useless for aiming.)
+func subtreeOptions() Options {
+	opts := DefaultOptions()
+	opts.Placement = Subtree{Prefixes: map[string]int{"/s0": 0, "/s1": 1}}
+	return opts
+}
+
 func TestRoutingAcrossShards(t *testing.T) {
-	inst := New(DefaultOptions())
+	inst := New(subtreeOptions())
 	inst.Start()
 
 	// One file per shard, written by node 0, read by node 1.
@@ -45,8 +55,35 @@ func TestRoutingAcrossShards(t *testing.T) {
 	}
 }
 
+// TestHashRoutingTransparent drives the default (hash) placement: the
+// caller never names a shard, yet every path lands on some authority
+// and reads back intact from another node.
+func TestHashRoutingTransparent(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 4
+	inst := New(opts)
+	inst.Start()
+	paths := []string{"/a", "/deep/nested/file", "/b.txt", "/x/y", "/zzz"}
+	for i, p := range paths {
+		h := inst.MustOpen(0, p, true, true)
+		if errno := inst.Write(0, h, 0, block(byte('0'+i))); errno != msg.OK {
+			t.Fatalf("write %s: %v", p, errno)
+		}
+	}
+	inst.Sync(0)
+	for i, p := range paths {
+		h := inst.MustOpen(1, p, false, false)
+		if data, errno := inst.Read(1, h, 0); errno != msg.OK || data[0] != byte('0'+i) {
+			t.Fatalf("read %s: %v %q", p, errno, data[0])
+		}
+	}
+	if got := inst.FinalCheck(); len(got) != 0 {
+		t.Fatalf("violations: %v", got)
+	}
+}
+
 func TestUnroutablePath(t *testing.T) {
-	inst := New(DefaultOptions())
+	inst := New(subtreeOptions())
 	inst.Start()
 	errno := msg.OK
 	inst.Nodes[0].Open("/nowhere/x", true, true, func(_ msg.Handle, _ msg.Attr, e msg.Errno) { errno = e })
@@ -62,11 +99,11 @@ func TestUnroutablePath(t *testing.T) {
 }
 
 // TestPerPairLeaseIndependence is §4's granularity argument as a test: a
-// failure between a client and ONE server invalidates exactly the locks
-// and cache held with that server; the client's leases with other
-// servers — and its service on their shards — continue untouched.
+// failure between a client and ONE authority invalidates exactly the
+// locks and cache held with that authority; the client's leases with
+// other shards — and its service on them — continue untouched.
 func TestPerPairLeaseIndependence(t *testing.T) {
-	opts := DefaultOptions()
+	opts := subtreeOptions()
 	inst := New(opts)
 	inst.Start()
 	tau := opts.Core.Tau
@@ -80,7 +117,7 @@ func TestPerPairLeaseIndependence(t *testing.T) {
 		t.Fatal(errno)
 	}
 
-	// Partition ONLY the link between node 0 and server 0.
+	// Partition ONLY the link between node 0 and shard 0.
 	inst.IsolatePair(0, 0)
 
 	// The shard-1 lease must stay valid throughout; use it actively.
@@ -120,7 +157,7 @@ func TestPerPairLeaseIndependence(t *testing.T) {
 }
 
 func TestShardNamespacesAreDisjoint(t *testing.T) {
-	inst := New(DefaultOptions())
+	inst := New(subtreeOptions())
 	inst.Start()
 	// Same basename on both shards: distinct objects.
 	a := inst.MustOpen(0, "/s0/same", true, true)
@@ -134,5 +171,22 @@ func TestShardNamespacesAreDisjoint(t *testing.T) {
 	db, _ := inst.Read(1, rb, 0)
 	if da[0] != '1' || db[0] != '2' {
 		t.Fatalf("cross-shard bleed: %q %q", da[0], db[0])
+	}
+}
+
+// TestLocksHeldGauge: each authority exports server.<id>.locks_held —
+// the per-shard load signal the flag surface (tankd SIGUSR1) dumps.
+func TestLocksHeldGauge(t *testing.T) {
+	inst := New(subtreeOptions())
+	inst.Start()
+	h := inst.MustOpen(0, "/s0/locked", true, true)
+	if errno := inst.Write(0, h, 0, block('L')); errno != msg.OK {
+		t.Fatal(errno)
+	}
+	if v := inst.Reg.Gauge("server.n1.locks_held").Value(); v != 1 {
+		t.Fatalf("shard 0 locks_held = %d, want 1", v)
+	}
+	if v := inst.Reg.Gauge("server.n2.locks_held").Value(); v != 0 {
+		t.Fatalf("shard 1 locks_held = %d, want 0", v)
 	}
 }

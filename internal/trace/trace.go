@@ -102,6 +102,18 @@ const (
 	// on top of the data path, never a protocol step: the batch runs
 	// under the same lock/lease gating as a demand read.
 	EvPrefetch
+	// EvShardHandoff: a source shard began migrating Ino to Peer for a
+	// cross-shard rename; Note carries the durable handoff id ("hid=N").
+	EvShardHandoff
+	// EvShardInstall: a destination shard installed an object received
+	// from Peer; Ino is the fresh local inode, Note the handoff id.
+	EvShardInstall
+	// EvShardDone: the source shard completed a handoff — the object now
+	// lives at Peer and the local copy is unlinked; Note the handoff id.
+	EvShardDone
+	// EvShardAbort: the destination refused a handoff and the source
+	// shard kept ownership of Ino; Note carries the handoff id and errno.
+	EvShardAbort
 )
 
 var typeNames = [...]string{
@@ -125,6 +137,10 @@ var typeNames = [...]string{
 	EvTransport:    "transport",
 	EvDisk:         "disk",
 	EvPrefetch:     "prefetch",
+	EvShardHandoff: "shard-handoff",
+	EvShardInstall: "shard-install",
+	EvShardDone:    "shard-done",
+	EvShardAbort:   "shard-abort",
 }
 
 func (t Type) String() string {

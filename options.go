@@ -8,7 +8,7 @@ package storagetank
 // knob belonged to. The With* options below speak all three dialects:
 // each option knows every surface it applies to, so the same
 // []Option configures a simulated Cluster (NewClusterWith), a simulated
-// server-cluster installation (NewMultiServerWith), or a live TCP node
+// sharded installation (NewShardClusterWith), or a live TCP node
 // (StartServer / StartDisk / StartClient).
 //
 // The struct-based surface (Options, DefaultOptions, NewCluster) remains
@@ -34,9 +34,9 @@ type Build struct {
 	// Cluster configures a simulated single-server installation
 	// (NewClusterWith).
 	Cluster Options
-	// Multi configures a simulated server-cluster installation
-	// (NewMultiServerWith).
-	Multi MultiServerOptions
+	// Shard configures a simulated sharded installation
+	// (NewShardClusterWith).
+	Shard ShardOptions
 	// Node accumulates live-node functional options (StartServer,
 	// StartDisk, StartClient).
 	Node []rpcnet.Option
@@ -54,10 +54,10 @@ type Build struct {
 type Option func(*Build)
 
 // NewBuild returns the default configuration: DefaultOptions for the
-// cluster surface, DefaultMultiServerOptions for the server-cluster
-// surface, and no live-node options.
+// cluster surface, DefaultShardOptions for the sharded surface, and no
+// live-node options.
 func NewBuild() Build {
-	return Build{Cluster: DefaultOptions(), Multi: DefaultMultiServerOptions()}
+	return Build{Cluster: DefaultOptions(), Shard: DefaultShardOptions()}
 }
 
 // Resolve applies opts over the defaults. Constructors call this; it is
@@ -72,19 +72,19 @@ func Resolve(opts ...Option) Build {
 }
 
 // WithSeed seeds all deterministic randomness (scheduler, clock skew,
-// network jitter). [sim, multi]
+// network jitter). [sim, shard]
 func WithSeed(seed int64) Option {
 	return func(b *Build) {
 		b.Cluster.Seed = seed
-		b.Multi.Seed = seed
+		b.Shard.Seed = seed
 	}
 }
 
-// WithClients sets the number of clients. [sim, multi]
+// WithClients sets the number of clients. [sim, shard]
 func WithClients(n int) Option {
 	return func(b *Build) {
 		b.Cluster.Clients = n
-		b.Multi.Clients = n
+		b.Shard.Clients = n
 	}
 }
 
@@ -94,33 +94,52 @@ func WithDisks(n int) Option {
 	return func(b *Build) { b.Cluster.Disks = n }
 }
 
-// WithServers sets the number of metadata servers in a server-cluster
-// installation. [multi]
-func WithServers(n int) Option {
-	return func(b *Build) { b.Multi.Servers = n }
+// WithShards sets the number of independent lease authorities the
+// namespace is partitioned across. [shard]
+func WithShards(n int) Option {
+	return func(b *Build) { b.Shard.Shards = n }
 }
 
-// WithDisksPerServer sets how many SAN disks each server of a
-// server-cluster installation owns. [multi]
+// WithServers is the historical name for WithShards.
+//
+// Deprecated: use WithShards.
+func WithServers(n int) Option { return WithShards(n) }
+
+// WithPlacement sets the deterministic path-to-shard placement map
+// (default: hash over the full path). [shard]
+func WithPlacement(p Placement) Option {
+	return func(b *Build) { b.Shard.Placement = p }
+}
+
+// WithServerService models each lease authority as a single-threaded
+// request processor with the given per-request service time (0 = the
+// default infinite capacity) — the knob the shard scale benchmark turns
+// to make metadata throughput authority-bound. [shard]
+func WithServerService(d time.Duration) Option {
+	return func(b *Build) { b.Shard.ServerService = d }
+}
+
+// WithDisksPerServer sets how many SAN disks each authority of a
+// sharded installation owns. [shard]
 func WithDisksPerServer(n int) Option {
-	return func(b *Build) { b.Multi.DisksPerServer = n }
+	return func(b *Build) { b.Shard.DisksPerServer = n }
 }
 
 // WithDiskBlocks sets each disk's capacity in 4 KiB blocks.
-// [sim, multi, live disk]
+// [sim, shard, live disk]
 func WithDiskBlocks(n uint64) Option {
 	return func(b *Build) {
 		b.Cluster.DiskBlocks = n
-		b.Multi.DiskBlocks = n
+		b.Shard.DiskBlocks = n
 	}
 }
 
 // WithProtocol sets the lease protocol configuration (τ, ε, phase
-// boundaries, retries). [sim, multi, live server, live client]
+// boundaries, retries). [sim, shard, live server, live client]
 func WithProtocol(cfg Config) Option {
 	return func(b *Build) {
 		b.Cluster.Core = cfg
-		b.Multi.Core = cfg
+		b.Shard.Core = cfg
 	}
 }
 
@@ -180,18 +199,22 @@ func WithClockSkew(on bool) Option {
 }
 
 // WithDiskService sets the per-operation disk latency a disk simulates
-// before replying. A vectored batch pays it once. [sim, live disk]
+// before replying. A vectored batch pays it once. [sim, shard, live disk]
 func WithDiskService(d time.Duration) Option {
 	return func(b *Build) {
 		b.Cluster.DiskService = d
+		b.Shard.DiskService = d
 		b.liveDiskService = d
 	}
 }
 
 // WithoutChecker disables the consistency oracle (benchmarks measuring
-// raw protocol cost). [sim]
+// raw protocol cost). [sim, shard]
 func WithoutChecker() Option {
-	return func(b *Build) { b.Cluster.NoChecker = true }
+	return func(b *Build) {
+		b.Cluster.NoChecker = true
+		b.Shard.NoChecker = true
+	}
 }
 
 // WithGracePeriod overrides a restarted server's lock-reassertion
@@ -203,11 +226,11 @@ func WithGracePeriod(d time.Duration) Option {
 // WithTracer attaches the lease-lifecycle event bus to every node of
 // the installation — phase transitions, renewals, NACKs, steals,
 // demands, flushes, fences, vectored-batch disk commits, and transport
-// drops land in one totally-ordered stream. [sim, multi, live]
+// drops land in one totally-ordered stream. [sim, shard, live]
 func WithTracer(tr *Tracer) Option {
 	return func(b *Build) {
 		b.Cluster.Tracer = tr
-		b.Multi.Tracer = tr
+		b.Shard.Tracer = tr
 		b.Node = append(b.Node, rpcnet.WithTracer(tr))
 	}
 }
@@ -256,11 +279,11 @@ func NewClusterWith(opts ...Option) *Cluster {
 	return cluster.New(b.Cluster)
 }
 
-// NewMultiServerWith builds a simulated server-cluster installation
-// from the unified vocabulary.
-func NewMultiServerWith(opts ...Option) *MultiServer {
+// NewShardClusterWith builds a simulated sharded installation from the
+// unified vocabulary.
+func NewShardClusterWith(opts ...Option) *ShardCluster {
 	b := Resolve(opts...)
-	return NewMultiServer(b.Multi)
+	return NewShardCluster(b.Shard)
 }
 
 // SyncClient is the blocking facade over the event-driven client: plain

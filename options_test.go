@@ -45,12 +45,12 @@ func TestUnifiedOptionsProjectOntoCluster(t *testing.T) {
 	case c.DiskService != time.Millisecond, c.Tracer != tr:
 		t.Fatalf("disk/tracer knobs lost")
 	}
-	// The same options project onto the server-cluster surface where they
+	// The same options project onto the sharded surface where they
 	// apply.
-	m := b.Multi
+	m := b.Shard
 	if m.Seed != 7 || m.Clients != 2 || m.DiskBlocks != 1<<10 ||
 		m.Core.Tau != 5*time.Second || m.Tracer != tr {
-		t.Fatalf("multi-server knobs lost: %+v", m)
+		t.Fatalf("shard knobs lost: %+v", m)
 	}
 }
 
@@ -92,8 +92,8 @@ func mustOpenRO(t *testing.T, sc *SyncClient, path string) (h Handle) {
 	return h
 }
 
-func TestNewMultiServerWithRuns(t *testing.T) {
-	inst := NewMultiServerWith(WithServers(3), WithClients(1))
+func TestNewShardClusterWithRuns(t *testing.T) {
+	inst := NewShardClusterWith(WithShards(3), WithClients(1))
 	inst.Start()
 	h := inst.MustOpen(0, "/s1/x", true, true)
 	inst.Write(0, h, 0, make([]byte, BlockSize))

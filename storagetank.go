@@ -12,7 +12,7 @@
 //
 //   - The unified With* option vocabulary (options.go): one set of
 //     knobs that configures a simulated Cluster (NewClusterWith), a
-//     simulated server cluster (NewMultiServerWith), and live TCP nodes
+//     simulated sharded server cluster (NewShardClusterWith), and live TCP nodes
 //     (StartServer / StartDisk / StartClient) alike.
 //   - Cluster: a complete simulated installation (Fig 1) for
 //     deterministic experiments and tests.
@@ -35,7 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultnet"
 	"repro/internal/msg"
-	"repro/internal/multiserver"
+	"repro/internal/shard"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -164,19 +164,33 @@ func NewWorkloadRunner(cl *Cluster, clientIdx int, cfg WorkloadConfig, seed int6
 // PopulateWorkload creates the shared file population for runners.
 func PopulateWorkload(cl *Cluster, cfg WorkloadConfig) { workload.Populate(cl, cfg) }
 
-// MultiServer is an installation with a cluster of metadata servers
-// (Fig 1), the namespace sharded by path prefix, and one lease per
-// (client, server) pair (§4).
-type MultiServer = multiserver.Installation
+// ShardCluster is an installation with a cluster of metadata servers
+// (Fig 1): the namespace partitioned across independent lease
+// authorities by a deterministic placement map, one lease per
+// (client, server) pair (§4), and server-to-server handoff for renames
+// that cross authorities (DESIGN.md §14).
+type ShardCluster = shard.Cluster
 
-// MultiServerOptions configures a MultiServer installation.
-type MultiServerOptions = multiserver.Options
+// ShardOptions configures a ShardCluster installation.
+type ShardOptions = shard.Options
 
-// NewMultiServer builds a server-cluster installation.
-func NewMultiServer(opts MultiServerOptions) *MultiServer { return multiserver.New(opts) }
+// NewShardCluster builds a sharded installation.
+func NewShardCluster(opts ShardOptions) *ShardCluster { return shard.New(opts) }
 
-// DefaultMultiServerOptions returns a 2-server, 2-client installation.
-func DefaultMultiServerOptions() MultiServerOptions { return multiserver.DefaultOptions() }
+// DefaultShardOptions returns a 2-shard, 2-client installation.
+func DefaultShardOptions() ShardOptions { return shard.DefaultOptions() }
+
+// Placement deterministically maps a path to the shard that owns it;
+// every client and server of an installation must share one.
+type Placement = shard.Placement
+
+// HashPlacement is the default placement: FNV-1a over the full path,
+// modulo the shard count — total and statistically balanced.
+type HashPlacement = shard.Hash
+
+// SubtreePlacement places paths by longest matching directory prefix —
+// the administrator-controlled split ("/home on shard 0").
+type SubtreePlacement = shard.Subtree
 
 // Tracer is the lease-lifecycle event bus: attach one to a cluster
 // (Options.Tracer) or a live node (rpcnet.WithTracer) and every phase
@@ -240,6 +254,10 @@ const (
 	TraceReassert     = trace.EvReassert
 	TraceTransport    = trace.EvTransport
 	TraceDisk         = trace.EvDisk
+	TraceShardHandoff = trace.EvShardHandoff
+	TraceShardInstall = trace.EvShardInstall
+	TraceShardDone    = trace.EvShardDone
+	TraceShardAbort   = trace.EvShardAbort
 )
 
 // TracePred selects events in TraceStream queries.
