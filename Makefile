@@ -32,13 +32,17 @@ lint:
 # tanklint, and run the full suite (including the live-TCP chaos tests
 # and the kill -9 crash-restart durability harness, scalar and
 # vectored) race-clean, plus the shard-scaling smoke tier (64 clients,
-# 2 authorities must clear 1.3x one) explicitly and race-clean.
+# 2 authorities must clear 1.3x one) and the replica chaos harness —
+# SIGKILL the active lease authority mid-traffic, assert the bounded
+# takeover and Theorem 3.1 across the boundary from the JSONL traces —
+# explicitly and race-clean.
 verify: lint
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestCrashRestart' ./internal/rpcnet/
 	$(GO) test -race -count=1 -run 'TestShardScaleSmoke' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestLiveReplicaFailoverSIGKILL' ./internal/rpcnet/
 
 # bench runs every benchmark with allocation stats and renders the
 # results as BENCH_tier1.json (op/s and ns/op per benchmark; see

@@ -198,9 +198,7 @@ func BenchmarkReplyCache(b *testing.B) {
 // BenchmarkClusterWritePath measures a full client write through the
 // simulated installation (lock cached, cache hit: the common case).
 func BenchmarkClusterWritePath(b *testing.B) {
-	opts := DefaultOptions()
-	opts.NoChecker = true
-	cl := NewCluster(opts)
+	cl := NewClusterWith(WithoutChecker())
 	cl.Start()
 	h, _ := cl.MustOpen(0, "/bench", true, true)
 	data := make([]byte, BlockSize)
@@ -218,9 +216,7 @@ func BenchmarkClusterWritePath(b *testing.B) {
 // BenchmarkEndToEndSimSecond measures how fast the simulator advances one
 // simulated second of a busy 3-client installation.
 func BenchmarkEndToEndSimSecond(b *testing.B) {
-	opts := DefaultOptions()
-	opts.NoChecker = true
-	cl := NewCluster(opts)
+	cl := NewClusterWith(WithoutChecker())
 	cl.Start()
 	PopulateWorkload(cl, quickWorkload())
 	for i := range cl.Clients {

@@ -27,10 +27,14 @@
 // Benchmarks that exist on only one side are ignored (new benchmarks
 // have no baseline; retired ones no current number), and timing metrics
 // are never gated — ns/op is hardware-noisy in CI, the gated counts and
-// ratios come out of the deterministic simulator. One absolute floor
-// also applies: when the shard scale benchmark is present, the derived
+// ratios come out of the deterministic simulator. Two absolute gates
+// also apply: when the shard scale benchmark is present, the derived
 // 4-shard metadata-throughput speedup must be at least 3x the single
-// authority (shardscale.speedup_4x).
+// authority (shardscale.speedup_4x), and when the replica failover
+// benchmark is present, the derived takeover window
+// (failover.takeover_ms) must stay under the analytic takeover bound —
+// takeover_ms is also in the relative gate, so the window can only
+// shrink release over release.
 package main
 
 import (
@@ -128,7 +132,7 @@ func main() {
 // gatedMetrics are the lower-is-better units the -compare gate enforces
 // as ceilings: allocation behavior and the simulated SAN cost of a
 // sequential scan — deterministic per run, unlike wall-clock timing.
-var gatedMetrics = []string{"allocs/op", "B/op", "san_reads/scan"}
+var gatedMetrics = []string{"allocs/op", "B/op", "san_reads/scan", "takeover_ms"}
 
 // flooredMetrics are the higher-is-better units the gate enforces as
 // floors: cache-effectiveness ratios the simulator computes exactly. A
@@ -192,6 +196,11 @@ func compareBaseline(path string, current []Result) ([]string, error) {
 				"shardscale.speedup_4x: %.2f (floor is %.1fx over 1 shard)",
 				speedup, shardSpeedup4xFloor))
 		}
+		if w, ok := d["failover.takeover_ms"]; ok && w > takeoverMsCeiling {
+			regressions = append(regressions, fmt.Sprintf(
+				"failover.takeover_ms: %.0f (ceiling is %.0fms, the analytic takeover bound)",
+				w, takeoverMsCeiling))
+		}
 	}
 	return regressions, nil
 }
@@ -200,6 +209,15 @@ func compareBaseline(path string, current []Result) ([]string, error) {
 // 4-shard installation must show over a single authority on the Zipf
 // scale benchmark.
 const shardSpeedup4xFloor = 3.0
+
+// takeoverMsCeiling is the absolute bound on the replicated authority's
+// simulated takeover window: the benchmark's 1s authority lease term and
+// 100ms retry interval give the analytic bound (1+ε)·term +
+// (1+ε)·8·retry ≈ 1.9s at ε=0.05, and the gate holds the measured
+// window under it. The relative gate (takeover_ms in gatedMetrics)
+// additionally keeps it within 5% of the stored baseline, so the window
+// can only shrink.
+const takeoverMsCeiling = 1900.0
 
 // Report is the full JSON document: the parsed benchmark records plus
 // any cross-benchmark ratios derivable from them.
@@ -250,6 +268,14 @@ func derive(results []Result) map[string]float64 {
 	// content-addressed cache shares away, surfaced as a headline number.
 	if d, ok := metric("BenchmarkSharedHotFile", "dedup_bytes_saved_ratio"); ok {
 		out["hotfile.dedup_bytes_saved_ratio"] = d
+	}
+	// Replica failover: the simulated takeover window — authority lost to
+	// successor serving — straight from the PaxosLease benchmark. Gated
+	// both relatively (takeover_ms is in gatedMetrics, so -compare holds
+	// it within 5% of baseline: the window can only shrink) and
+	// absolutely against the protocol's analytic bound.
+	if w, ok := metric("BenchmarkReplicaFailover", "takeover_ms"); ok {
+		out["failover.takeover_ms"] = w
 	}
 	// Shard scaling: metadata throughput of an N-authority installation
 	// over the single-authority baseline under the Zipf workload. The

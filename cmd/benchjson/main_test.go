@@ -149,6 +149,47 @@ func TestCompareEnforcesShardSpeedupFloor(t *testing.T) {
 	}
 }
 
+func failover(ms float64) Result {
+	return Result{Name: "BenchmarkReplicaFailover-8",
+		Metrics: map[string]float64{"takeover_ms": ms}}
+}
+
+func TestDeriveFailoverTakeover(t *testing.T) {
+	d := derive([]Result{failover(1100)})
+	if d == nil || d["failover.takeover_ms"] != 1100 {
+		t.Fatalf("derived = %v, want failover.takeover_ms 1100", d)
+	}
+}
+
+func TestCompareEnforcesTakeoverCeiling(t *testing.T) {
+	// Absolute ceiling: the analytic takeover bound, baseline or not.
+	base := writeBaseline(t, nil)
+	regs, err := compareBaseline(base, []Result{failover(takeoverMsCeiling + 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want the takeover_ms ceiling", regs)
+	}
+	regs, err = compareBaseline(base, []Result{failover(1100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+	// Relative gate: the window may not grow >5% over the stored baseline
+	// even while under the absolute ceiling.
+	base = writeBaseline(t, []Result{failover(1100)})
+	regs, err = compareBaseline(base, []Result{failover(1300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want the takeover_ms +5%% gate", regs)
+	}
+}
+
 func TestCompareBaselineMissingFile(t *testing.T) {
 	if _, err := compareBaseline(filepath.Join(t.TempDir(), "nope.json"), nil); err == nil {
 		t.Fatal("missing baseline accepted")

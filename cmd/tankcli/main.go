@@ -9,7 +9,7 @@
 //
 // Commands: mkdir PATH | create PATH | ls PATH | stat PATH | rm PATH |
 // mv OLD NEW | write PATH BLOCK TEXT | read PATH BLOCK | bench OPS |
-// idle DURATION
+// idle DURATION | role
 //
 // Against a sharded installation, pass the full authority address book
 // instead of -server:
@@ -20,12 +20,26 @@
 // each operation by the same hash placement the servers use; mv between
 // paths owned by different authorities exercises the cross-shard
 // handoff.
+//
+// Against a replicated authority (a group of tankds started with
+// -replicas), pass the group's address book; the client dials every
+// member and follows ErrNotActive redirects to whichever replica holds
+// the authority lease, so kill -9 on the active server only stalls
+// operations for the bounded takeover window:
+//
+//	tankcli -replicas "1=127.0.0.1:7001,101=127.0.0.1:7002,201=127.0.0.1:7003" \
+//	        -disks "..." role
+//
+// The role command asks the currently-targeted replica for its
+// negotiation state: passive, candidate, or active, the last PaxosLease
+// ballot it touched, and who it believes is active.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +57,7 @@ func main() {
 	var (
 		serverAddr = flag.String("server", "127.0.0.1:7001", "tankd control address")
 		shardsFlag = flag.String("shards", "", "sharded authority address book: id=addr,id=addr,... (overrides -server)")
+		replFlag   = flag.String("replicas", "", "replicated authority address book: id=addr,id=addr,... — one group's members; the client follows the active replica (overrides -server)")
 		disksFlag  = flag.String("disks", "", "SAN address book: id=addr,id=addr,...")
 		id         = flag.Int("id", 10, "this client's node id")
 		tau        = flag.Duration("tau", 30*time.Second, "lease period τ (must match tankd)")
@@ -52,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: tankcli [flags] COMMAND ARGS...\ncommands: mkdir create ls stat rm mv write read bench idle")
+		log.Fatal("usage: tankcli [flags] COMMAND ARGS...\ncommands: mkdir create ls stat rm mv write read bench idle role")
 	}
 
 	diskAddrs, err := parseDisks(*disksFlag)
@@ -100,6 +115,17 @@ func main() {
 		cli.shard = node
 	} else {
 		topo := rpcnet.Topology{Server: 1, ServerAddr: *serverAddr, Disks: diskAddrs}
+		if *replFlag != "" {
+			members, err := parseDisks(*replFlag)
+			if err != nil {
+				log.Fatalf("-replicas: %v", err)
+			}
+			group := replicaGroup(members)
+			topo.Server = group[0]
+			topo.ServerAddr = members[group[0]]
+			topo.Servers = members
+			topo.ReplicaGroups = map[msg.NodeID][]msg.NodeID{group[0]: group}
+		}
 		node, err := rpcnet.StartClientNode(rpcnet.NodeSpec{ID: msg.NodeID(*id), Topo: topo},
 			client.Config{Core: cfg}, opts...)
 		if err != nil {
@@ -390,9 +416,40 @@ func (c *cli) run(args []string) error {
 		fmt.Printf("keep-alives sent: %d, lease expiries: %d\n", v[0], v[1])
 		return nil
 
+	case "role":
+		// Ask the replica the channel currently targets — after a
+		// takeover that is whoever the redirects settled on — for its
+		// negotiation state. Passive replicas answer too: the query is
+		// lease-neutral and served before registration checks.
+		var info msg.ReplicaInfoRes
+		var errno msg.Errno
+		c.do(func(done func()) {
+			c.pick("/").ReplicaInfo(func(i msg.ReplicaInfoRes, e msg.Errno) {
+				info, errno = i, e
+				done()
+			})
+		})
+		if errno != msg.OK {
+			return errno
+		}
+		fmt.Printf("role=%s ballot=%d active=%v\n", msg.RoleName(info.Role), info.Ballot, info.Active)
+		return nil
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// replicaGroup orders a -replicas book's member IDs. The first — the
+// lowest — is the group's primary: the authority identity the client
+// routes by, matching what each tankd derives from the same book.
+func replicaGroup(members map[msg.NodeID]string) []msg.NodeID {
+	group := make([]msg.NodeID, 0, len(members))
+	for m := range members {
+		group = append(group, m)
+	}
+	slices.Sort(group)
+	return group
 }
 
 func parseDisks(s string) (map[msg.NodeID]string, error) {

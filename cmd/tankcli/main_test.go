@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/msg"
+)
 
 func TestParseDisks(t *testing.T) {
 	got, err := parseDisks("1000=127.0.0.1:7101, 1001=127.0.0.1:7102")
@@ -18,5 +22,14 @@ func TestParseDisks(t *testing.T) {
 	}
 	if _, err := parseDisks("abc=addr"); err == nil {
 		t.Fatal("non-numeric id accepted")
+	}
+}
+
+func TestReplicaGroupOrdering(t *testing.T) {
+	group := replicaGroup(map[msg.NodeID]string{
+		201: "c:3", 1: "a:1", 101: "b:2",
+	})
+	if len(group) != 3 || group[0] != 1 || group[1] != 101 || group[2] != 201 {
+		t.Fatalf("group = %v, want [n1 n101 n201]", group)
 	}
 }

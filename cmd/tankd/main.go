@@ -31,6 +31,23 @@
 //
 //	tankd -shard-id 1 -ctrl :7001 -san-base 7101 -disk-base 1000 -shards "1=127.0.0.1:7001,2=127.0.0.1:7002"
 //	tankd -shard-id 2 -ctrl :7002 -san-base 7201 -disk-base 1100 -shards "1=127.0.0.1:7001,2=127.0.0.1:7002"
+//
+// A replicated installation instead runs one tankd per replica of the
+// SAME authority, each with the full -replicas book (DESIGN.md §15).
+// The members run the diskless PaxosLease negotiation to elect the
+// active authority; the others stay passive and redirect clients. The
+// SAN must be hosted by its own process (-no-server) so the disks
+// survive any authority kill; every member needs the full SAN view
+// (-san-disks) to allocate and fence once it activates, and all members
+// share one -meta-persist snapshot file (the paper's highly-available
+// server storage) so the takeover winner inherits the namespace. The
+// SIGUSR1 dump and the server.<id>.role / server.<id>.ballot gauges
+// report each member's view of the election:
+//
+//	tankd -no-server -san-base 7101 -disks 2
+//	tankd -shard-id 1   -ctrl :7001 -disks 0 -san-disks "1000=127.0.0.1:7101,1001=127.0.0.1:7102" -meta-persist /srv/tank/meta.json -replicas "1=127.0.0.1:7001,101=127.0.0.1:7002,201=127.0.0.1:7003"
+//	tankd -shard-id 101 -ctrl :7002 -disks 0 -san-disks "1000=127.0.0.1:7101,1001=127.0.0.1:7102" -meta-persist /srv/tank/meta.json -replicas "1=127.0.0.1:7001,101=127.0.0.1:7002,201=127.0.0.1:7003"
+//	tankd -shard-id 201 -ctrl :7003 -disks 0 -san-disks "1000=127.0.0.1:7101,1001=127.0.0.1:7102" -meta-persist /srv/tank/meta.json -replicas "1=127.0.0.1:7001,101=127.0.0.1:7002,201=127.0.0.1:7003"
 package main
 
 import (
@@ -40,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -51,6 +69,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/faultnet"
 	"repro/internal/msg"
+	"repro/internal/replica"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -63,6 +82,11 @@ func main() {
 		ctrlAddr   = flag.String("ctrl", ":7001", "control-network listen address")
 		shardID    = flag.Int("shard-id", 1, "this lease authority's node id")
 		shardsFlag = flag.String("shards", "", "sharded control address book: id=addr,id=addr,... including this authority; enables hash placement and cross-shard renames")
+		replFlag   = flag.String("replicas", "", "replica group address book: id=addr,id=addr,... including this node; members run PaxosLease to elect the active lease authority")
+		replTerm   = flag.Duration("replica-lease-term", 0, "PaxosLease authority-lease term (0 = protocol default)")
+		metaFile   = flag.String("meta-persist", "", "replicated authorities: metadata snapshot FILE on shared highly-available storage — the active snapshots before every reply, the takeover winner loads it (paper §1.1; every member must name the same file)")
+		sanDisks   = flag.String("san-disks", "", "SAN disks hosted by OTHER processes: id=addr,id=addr,... — every replica member needs the full SAN view to allocate and fence once it activates (capacity assumed -disk-blocks each)")
+		noServer   = flag.Bool("no-server", false, "host only the SAN disks, no lease authority — a network-attached storage box that outlives any server kill")
 		sanHost    = flag.String("san-host", "127.0.0.1", "host disks listen on")
 		sanBase    = flag.Int("san-base", 7101, "first SAN port; disk i listens on san-base+i")
 		nDisks     = flag.Int("disks", 2, "number of SAN disks to host")
@@ -88,6 +112,24 @@ func main() {
 	pol, ok := policyByName(*policyName)
 	if !ok {
 		log.Fatalf("unknown policy %q", *policyName)
+	}
+	if *noServer {
+		// A pure NAS box: the paper's network-attached disks outlive any
+		// lease authority, so the storage must not die with a server kill.
+		switch {
+		case *replFlag != "":
+			log.Fatal("-no-server hosts no authority; drop -replicas")
+		case *shardsFlag != "":
+			log.Fatal("-no-server hosts no authority; drop -shards")
+		case *replTerm != 0:
+			log.Fatal("-no-server hosts no authority; drop -replica-lease-term")
+		case *metaFile != "":
+			log.Fatal("-no-server hosts no authority; drop -meta-persist")
+		case *sanDisks != "":
+			log.Fatal("-no-server hosts disks, it does not dial them; drop -san-disks")
+		case *nDisks == 0:
+			log.Fatal("-no-server with -disks 0 hosts nothing")
+		}
 	}
 	cfg := core.DefaultConfig()
 	cfg.Tau = *tau
@@ -149,7 +191,40 @@ func main() {
 		}
 		topo.Servers = servers
 	}
+	if *replFlag != "" {
+		members, err := parseAddrBook(*replFlag)
+		if err != nil {
+			log.Fatalf("-replicas: %v", err)
+		}
+		if _, ok := members[topo.Server]; !ok {
+			log.Fatalf("-replicas %q does not include this node (-shard-id %d)", *replFlag, *shardID)
+		}
+		group := replicaGroup(members)
+		if topo.Servers == nil {
+			topo.Servers = make(map[msg.NodeID]string)
+		}
+		for m, addr := range members {
+			if _, ok := topo.Servers[m]; !ok {
+				topo.Servers[m] = addr
+			}
+		}
+		topo.ReplicaGroups = map[msg.NodeID][]msg.NodeID{group[0]: group}
+	}
 	diskCaps := make(map[msg.NodeID]uint64)
+	if *sanDisks != "" {
+		// SAN disks living in other processes: the server still needs
+		// their addresses (fencing, function-shipping) and capacities
+		// (block allocation). A replica member that hosts no disks of its
+		// own is useless as a successor without this view.
+		remote, err := parseAddrBook(*sanDisks)
+		if err != nil {
+			log.Fatalf("-san-disks: %v", err)
+		}
+		for id, addr := range remote {
+			topo.Disks[id] = addr
+			diskCaps[id] = *diskBlocks
+		}
+	}
 	var diskNodes []*rpcnet.DiskNode
 	for i := 0; i < *nDisks; i++ {
 		id := msg.NodeID(*diskBase + i)
@@ -182,30 +257,60 @@ func main() {
 		fmt.Printf("disk %v listening on %v (%d blocks)\n", id, dn.Addr, *diskBlocks)
 	}
 
-	scfg := server.Config{Core: cfg, Policy: pol, Disks: diskCaps}
-	if len(topo.Servers) > 0 {
-		// Hash placement over the sorted authority IDs — every tankd and
-		// every tankcli of the installation computes the same map.
-		ids := topo.ServerIDs()
-		place := shard.Hash{N: len(ids)}
-		scfg.PlaceOwner = func(path string) msg.NodeID {
-			idx, ok := place.Owner(path)
-			if !ok {
-				return msg.None
-			}
-			return ids[idx]
-		}
-	}
-	srv, err := rpcnet.StartServerNode(rpcnet.NodeSpec{ID: topo.Server, Topo: topo}, scfg, nodeOpts...)
-	if err != nil {
-		log.Fatalf("server: %v", err)
-	}
-	fmt.Printf("server n%d listening on %v (policy=%s τ=%v ε=%g)\n", *shardID, srv.Addr, pol.Name, *tau, *eps)
-	if len(topo.Servers) > 0 {
-		fmt.Printf("shard %d of %d (hash placement over %v)\n", *shardID, len(topo.Servers), topo.ServerIDs())
-		fmt.Printf("clients: tankcli -shards %q -disks %q\n", *shardsFlag, diskFlag(topo.Disks, *diskBase))
+	var srv *rpcnet.ServerNode
+	if *noServer {
+		fmt.Printf("no server: hosting %d SAN disks only\n", *nDisks)
+		fmt.Printf("servers: tankd -disks 0 -san-disks %q ...\n", diskFlag(topo.Disks, *diskBase))
 	} else {
-		fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks, *diskBase))
+		scfg := server.Config{Core: cfg, Policy: pol, Disks: diskCaps,
+			MetaPersist: *metaFile}
+		if *metaFile != "" && topo.GroupOf(topo.Server) == nil {
+			log.Fatal("-meta-persist needs -replicas")
+		}
+		if *replTerm != 0 {
+			if topo.GroupOf(topo.Server) == nil {
+				log.Fatal("-replica-lease-term needs -replicas")
+			}
+			scfg.Replica = &replica.Config{LeaseTerm: *replTerm}
+		}
+		if len(topo.Servers) > 0 {
+			// Hash placement over the sorted authority IDs — every tankd and
+			// every tankcli of the installation computes the same map.
+			ids := topo.ServerIDs()
+			place := shard.Hash{N: len(ids)}
+			scfg.PlaceOwner = func(path string) msg.NodeID {
+				idx, ok := place.Owner(path)
+				if !ok {
+					return msg.None
+				}
+				return ids[idx]
+			}
+		}
+		s, err := rpcnet.StartServerNode(rpcnet.NodeSpec{ID: topo.Server, Topo: topo}, scfg, nodeOpts...)
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		srv = s
+		fmt.Printf("server n%d listening on %v (policy=%s τ=%v ε=%g)\n", *shardID, srv.Addr, pol.Name, *tau, *eps)
+		switch {
+		case *replFlag != "":
+			term := *replTerm
+			if term == 0 {
+				term = replica.DefaultLeaseTerm
+			}
+			role := srv.Reg.Gauge(fmt.Sprintf("server.%v.role", topo.Server)).Value()
+			fmt.Printf("replica %s of group %v (PaxosLease term %v)\n",
+				msg.RoleName(uint8(role)), topo.GroupOf(topo.Server), term)
+			if *metaFile == "" {
+				fmt.Println("warning: no -meta-persist — the namespace dies with the active; point every member at one snapshot file on shared storage")
+			}
+			fmt.Printf("clients: tankcli -replicas %q -disks %q\n", *replFlag, diskFlag(topo.Disks, *diskBase))
+		case *shardsFlag != "":
+			fmt.Printf("shard %d of %d (hash placement over %v)\n", *shardID, len(topo.Servers), topo.ServerIDs())
+			fmt.Printf("clients: tankcli -shards %q -disks %q\n", *shardsFlag, diskFlag(topo.Disks, *diskBase))
+		default:
+			fmt.Printf("clients: tankcli -server %v -disks %q\n", srv.Addr, diskFlag(topo.Disks, *diskBase))
+		}
 	}
 	if faultsConfigured {
 		fmt.Printf("%s (SIGUSR2 toggles)\n", ctrlFaults.Summary())
@@ -216,7 +321,11 @@ func main() {
 	for s := range sig {
 		switch s {
 		case syscall.SIGUSR1:
-			dumpState(srv, ring, ctrlFaults)
+			self := msg.None
+			if srv != nil {
+				self = topo.Server
+			}
+			dumpState(reg, self, ring, ctrlFaults)
 			continue
 		case syscall.SIGUSR2:
 			ctrlFaults.Toggle()
@@ -226,9 +335,11 @@ func main() {
 		break
 	}
 
-	fmt.Println("\n--- server statistics ---")
-	fmt.Print(srv.Reg.Dump())
-	srv.Close()
+	fmt.Println("\n--- statistics ---")
+	fmt.Print(reg.Dump())
+	if srv != nil {
+		srv.Close()
+	}
 	for _, d := range diskNodes {
 		d.Close()
 	}
@@ -238,10 +349,19 @@ func main() {
 }
 
 // dumpState prints the live metrics and the tail of the event stream —
-// the SIGUSR1 "what is the lease protocol doing right now" report.
-func dumpState(srv *rpcnet.ServerNode, ring *trace.Ring, faults *faultnet.Faults) {
+// the SIGUSR1 "what is the lease protocol doing right now" report. With
+// self == msg.None (a -no-server disk box) the replica line is skipped.
+func dumpState(reg *stats.Registry, self msg.NodeID, ring *trace.Ring, faults *faultnet.Faults) {
 	fmt.Println("--- statistics ---")
-	fmt.Print(srv.Reg.Dump())
+	if self != msg.None {
+		// Read the operator gauges rather than the server state machine:
+		// the signal handler runs off the server's executor, and the
+		// gauges are the atomically-published view of role and ballot.
+		role := reg.Gauge(fmt.Sprintf("server.%v.role", self)).Value()
+		ballot := reg.Gauge(fmt.Sprintf("server.%v.ballot", self)).Value()
+		fmt.Printf("replica role=%s ballot=%d\n", msg.RoleName(uint8(role)), ballot)
+	}
+	fmt.Print(reg.Dump())
 	fmt.Println(faults.Summary())
 	evs := ring.Events()
 	fmt.Printf("--- last %d trace events (%d total) ---\n", len(evs), ring.Total())
@@ -272,6 +392,19 @@ func diskFlag(addrs map[msg.NodeID]string, base int) string {
 		out += fmt.Sprintf("%d=%s", id, addr)
 	}
 	return out
+}
+
+// replicaGroup orders a -replicas book's member IDs. The first — the
+// lowest — is the group's primary: the authority identity clients route
+// by. Every tankd and tankcli of the installation derives the same
+// ordering from the same book.
+func replicaGroup(members map[msg.NodeID]string) []msg.NodeID {
+	group := make([]msg.NodeID, 0, len(members))
+	for m := range members {
+		group = append(group, m)
+	}
+	slices.Sort(group)
+	return group
 }
 
 // parseAddrBook parses "id=addr,id=addr,..." into a node address book.

@@ -37,3 +37,12 @@ func TestParseAddrBook(t *testing.T) {
 		t.Fatal("bad entry accepted")
 	}
 }
+
+func TestReplicaGroupPrimaryIsLowestID(t *testing.T) {
+	group := replicaGroup(map[msg.NodeID]string{
+		201: "127.0.0.1:7003", 1: "127.0.0.1:7001", 101: "127.0.0.1:7002",
+	})
+	if len(group) != 3 || group[0] != 1 || group[1] != 101 || group[2] != 201 {
+		t.Fatalf("group = %v, want primary n1 first", group)
+	}
+}

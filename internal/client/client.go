@@ -74,6 +74,11 @@ type Config struct {
 	// let the router demultiplex disk replies back to the issuing
 	// sub-client (DESIGN.md §14).
 	SANReqBase msg.ReqID
+	// Replicas, when the authority is replicated, lists the full replica
+	// group for this client's server (including the primary). The channel
+	// rotates among them on ErrNotActive redirects and on silent targets
+	// (DESIGN.md §15).
+	Replicas []msg.NodeID
 }
 
 // DefaultFlushBatch is the flush coalescing bound used when
@@ -251,42 +256,42 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 	}
 	prefix := fmt.Sprintf("client.%v.", id)
 	c := &Client{
-		id:              id,
-		cfg:             cfg,
-		clock:           clock,
-		ctrl:            ctrl,
-		san:             san,
-		server:          server,
-		oracle:          oracle,
-		cache:           cache.NewWithLimits(reg, prefix, cfg.CacheMaxPages, cfg.CacheQuota),
-		handles:         make(map[msg.Handle]handleInfo),
-		sanCalls:        make(map[msg.ReqID]*sanPending),
-		lockedInos:      make(map[msg.ObjectID]msg.LockMode),
-		ioCount:         make(map[msg.ObjectID]int),
-		ioWaiters:       make(map[msg.ObjectID][]func()),
-		demandSeq:       make(map[msg.ObjectID]uint64),
-		demandBusy:      make(map[msg.ObjectID]bool),
-		demandNext:      make(map[msg.ObjectID]*msg.Demand),
-		downgrading:     make(map[msg.ObjectID]int),
-		acquireDeferred: make(map[msg.ObjectID][]func()),
+		id:               id,
+		cfg:              cfg,
+		clock:            clock,
+		ctrl:             ctrl,
+		san:              san,
+		server:           server,
+		oracle:           oracle,
+		cache:            cache.NewWithLimits(reg, prefix, cfg.CacheMaxPages, cfg.CacheQuota),
+		handles:          make(map[msg.Handle]handleInfo),
+		sanCalls:         make(map[msg.ReqID]*sanPending),
+		lockedInos:       make(map[msg.ObjectID]msg.LockMode),
+		ioCount:          make(map[msg.ObjectID]int),
+		ioWaiters:        make(map[msg.ObjectID][]func()),
+		demandSeq:        make(map[msg.ObjectID]uint64),
+		demandBusy:       make(map[msg.ObjectID]bool),
+		demandNext:       make(map[msg.ObjectID]*msg.Demand),
+		downgrading:      make(map[msg.ObjectID]int),
+		acquireDeferred:  make(map[msg.ObjectID][]func()),
 		seqNext:          make(map[msg.ObjectID]uint64),
 		seqRun:           make(map[msg.ObjectID]int),
 		prefetchInflight: make(map[msg.ObjectID]map[uint64]bool),
 		pfEnd:            make(map[msg.ObjectID]uint64),
 		pfWaiters:        make(map[msg.ObjectID]map[uint64][]DataCallback),
-		objExpiry:       make(map[msg.ObjectID]sim.Time),
-		attrFetched:     make(map[msg.ObjectID]sim.Time),
-		reg:             reg,
-		opsOK:           reg.Counter(prefix + "ops_ok"),
-		opsFailed:       reg.Counter(prefix + "ops_failed"),
-		reads:           reg.Counter(prefix + "reads"),
-		writes:          reg.Counter(prefix + "writes"),
-		staleEps:        reg.Counter(prefix + "ops_refused"),
-		recovers:        reg.Counter(prefix + "recoveries"),
-		lostDirty:       reg.Counter(prefix + "dirty_discarded"),
-		fencedIO:        reg.Counter(prefix + "fenced_io"),
-		nfsPolls:        reg.Counter(prefix + "nfs_polls"),
-		prefetchBatches: reg.Counter(prefix + "prefetch_batches"),
+		objExpiry:        make(map[msg.ObjectID]sim.Time),
+		attrFetched:      make(map[msg.ObjectID]sim.Time),
+		reg:              reg,
+		opsOK:            reg.Counter(prefix + "ops_ok"),
+		opsFailed:        reg.Counter(prefix + "ops_failed"),
+		reads:            reg.Counter(prefix + "reads"),
+		writes:           reg.Counter(prefix + "writes"),
+		staleEps:         reg.Counter(prefix + "ops_refused"),
+		recovers:         reg.Counter(prefix + "recoveries"),
+		lostDirty:        reg.Counter(prefix + "dirty_discarded"),
+		fencedIO:         reg.Counter(prefix + "fenced_io"),
+		nfsPolls:         reg.Counter(prefix + "nfs_polls"),
+		prefetchBatches:  reg.Counter(prefix + "prefetch_batches"),
 	}
 	c.nextSANReq = cfg.SANReqBase
 	c.tracer = tr
@@ -309,6 +314,9 @@ func New(id, server msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		c.lease = core.NewLeaseClient(cfg.Core, clock, leaseActions{c}, env)
 	}
 	c.chn = core.NewChannel(id, server, cfg.Core, clock, c.sendCtrl, c.lease, env)
+	if len(cfg.Replicas) > 0 {
+		c.chn.SetTargets(cfg.Replicas)
+	}
 	return c
 }
 

@@ -25,6 +25,9 @@ type OpenCallback func(h msg.Handle, attr msg.Attr, errno msg.Errno)
 // DirCallback receives directory listings.
 type DirCallback func(entries []msg.DirEntry, errno msg.Errno)
 
+// ReplicaInfoCallback receives a replica role query's result.
+type ReplicaInfoCallback func(info msg.ReplicaInfoRes, errno msg.Errno)
+
 // begin gates a new operation and tracks in-flight counts. It returns
 // false (after failing the op) when the client must not service requests
 // (phase ≥ 3, unregistered, crashed): the paper's contract — a client
@@ -59,6 +62,25 @@ func errnoOf(r *msg.Reply) msg.Errno {
 	default:
 		return r.Err
 	}
+}
+
+// ReplicaInfo asks whichever replica the channel currently targets for
+// its role, last ballot, and who it believes holds the authority lease —
+// the operator query behind tankcli's `role` command and the SIGUSR1
+// dump. It bypasses the lease admission gate: servers answer it before
+// registration/epoch checks (even a passive replica answers — that is
+// the point), and the reply is lease-neutral.
+func (c *Client) ReplicaInfo(cb ReplicaInfoCallback) {
+	c.chn.Call(&msg.ReplicaInfo{}, func(r *msg.Reply) {
+		switch {
+		case r == nil:
+			cb(msg.ReplicaInfoRes{}, msg.ErrStale)
+		case r.Err != msg.OK:
+			cb(msg.ReplicaInfoRes{}, r.Err)
+		default:
+			cb(r.Body.(msg.ReplicaInfoRes), msg.OK)
+		}
+	})
 }
 
 // Lookup resolves a path.

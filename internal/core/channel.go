@@ -37,13 +37,20 @@ type pendingCall struct {
 // This is where opportunistic renewal (§3.1) lives: every ordinary
 // file-system message doubles as a lease renewal, so an active client
 // never sends lease-specific traffic.
+// When the authority is replicated, SetTargets installs the replica set:
+// a NACK carrying msg.ErrNotActive is a redirect, not an answer — the
+// channel keeps the call pending, rotates to the next replica, and
+// resends, without touching the lease machine either way. Silent servers
+// (SIGKILLed actives) are covered too: every few unanswered retries of a
+// single call rotate the target as well.
 type Channel struct {
-	self   msg.NodeID
-	server msg.NodeID
-	cfg    Config
-	clock  sim.Clock
-	send   func(to msg.NodeID, m msg.Message)
-	lease  *LeaseClient // may be nil (baselines without lease semantics)
+	self    msg.NodeID
+	server  msg.NodeID   // current target
+	targets []msg.NodeID // full replica set; rotation cycles this
+	cfg     Config
+	clock   sim.Clock
+	send    func(to msg.NodeID, m msg.Message)
+	lease   *LeaseClient // may be nil (baselines without lease semantics)
 
 	epoch   msg.Epoch
 	nextReq msg.ReqID
@@ -53,7 +60,13 @@ type Channel struct {
 	retries *stats.Counter
 	acks    *stats.Counter
 	nacksC  *stats.Counter
+	redirs  *stats.Counter
 }
+
+// redirectTries is how many consecutive unanswered retries of one call
+// rotate the channel to the next replica. Redirect NACKs rotate
+// immediately; this only covers servers that die silently.
+const redirectTries = 3
 
 // NewChannel creates a channel from self to server. lease may be nil.
 // env supplies the registry the channel's counters live in.
@@ -66,6 +79,7 @@ func NewChannel(self, server msg.NodeID, cfg Config, clock sim.Clock,
 	return &Channel{
 		self:    self,
 		server:  server,
+		targets: []msg.NodeID{server},
 		cfg:     cfg,
 		clock:   clock,
 		send:    send,
@@ -75,7 +89,38 @@ func NewChannel(self, server msg.NodeID, cfg Config, clock sim.Clock,
 		retries: env.counter("chan.retries"),
 		acks:    env.counter("chan.acks"),
 		nacksC:  env.counter("chan.nacks"),
+		redirs:  env.counter("chan.redirects"),
 	}
+}
+
+// SetTargets installs the replica set the channel may address. The
+// current target is kept if it is in the set, otherwise reset to the
+// first entry.
+func (c *Channel) SetTargets(ts []msg.NodeID) {
+	if len(ts) == 0 {
+		return
+	}
+	c.targets = append([]msg.NodeID(nil), ts...)
+	for _, id := range c.targets {
+		if id == c.server {
+			return
+		}
+	}
+	c.server = c.targets[0]
+}
+
+// rotate advances to the next replica in the target set.
+func (c *Channel) rotate() {
+	if len(c.targets) < 2 {
+		return
+	}
+	for i, id := range c.targets {
+		if id == c.server {
+			c.server = c.targets[(i+1)%len(c.targets)]
+			return
+		}
+	}
+	c.server = c.targets[0]
 }
 
 // Epoch returns the channel's current registration epoch.
@@ -116,6 +161,9 @@ func (c *Channel) armRetry(p *pendingCall, id msg.ReqID) {
 		}
 		p.tries++
 		c.retries.Inc()
+		if p.tries%redirectTries == 0 {
+			c.rotate() // the target may be dead; try a peer replica
+		}
 		c.send(c.server, p.req)
 		c.armRetry(p, id)
 	})
@@ -128,9 +176,30 @@ func (c *Channel) HandleReply(r *msg.Reply) {
 	if !ok {
 		return
 	}
+	if r.Status == msg.NACK && r.Err == msg.ErrNotActive {
+		// A passive replica redirected us. This is neither a renewal nor a
+		// lease NACK — the authority never saw the request — so bypass the
+		// lease machine entirely: keep the call pending, rotate, resend.
+		c.redirs.Inc()
+		c.rotate()
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		c.send(c.server, p.req)
+		c.armRetry(p, r.Req)
+		return
+	}
 	delete(c.pending, r.Req)
 	if p.timer != nil {
 		p.timer.Stop()
+	}
+	if _, info := r.Body.(msg.ReplicaInfoRes); info {
+		// Operator role query: answered by ANY replica, so its ACK proves
+		// nothing about the authority hearing from us — lease-neutral.
+		if p.cb != nil {
+			p.cb(r)
+		}
+		return
 	}
 	switch r.Status {
 	case msg.ACK:

@@ -1,0 +1,226 @@
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/msg"
+)
+
+// Snapshot persistence for live replicated authorities (DESIGN.md §15).
+//
+// The paper keeps metadata on server-private highly-available storage
+// (§1.1); in the simulator HA is modeled by replicas sharing one *Store.
+// Live replicas are separate processes, so the active's Store is made
+// durable instead: it is serialized to a snapshot file before every reply
+// leaves the server, written via temp-file + atomic rename so a SIGKILL
+// can never leave a torn snapshot, and the replica that wins the next
+// authority lease loads it at activation. The snapshot is the WHOLE
+// store — inodes, allocation maps, the epoch counter, and the handoff
+// ledgers — because all of it is state the paper assumes survives a
+// server crash.
+
+type inodeSnap struct {
+	Ino      msg.ObjectID
+	IsDir    bool                    `json:",omitempty"`
+	Size     uint64                  `json:",omitempty"`
+	Version  uint64                  `json:",omitempty"`
+	Nlink    uint32                  `json:",omitempty"`
+	Blocks   []msg.BlockRef          `json:",omitempty"`
+	Children map[string]msg.ObjectID `json:",omitempty"`
+}
+
+type diskSnap struct {
+	ID       msg.NodeID
+	Capacity uint64
+	Cursor   uint64
+}
+
+type allocSnap struct {
+	Disks   []diskSnap
+	Next    int
+	InUse   []msg.BlockRef          `json:",omitempty"`
+	Frees   map[msg.NodeID][]uint64 `json:",omitempty"`
+	Foreign []msg.BlockRef          `json:",omitempty"`
+}
+
+type importSnap struct {
+	Src   msg.NodeID
+	HID   uint64
+	Errno msg.Errno
+}
+
+type storeSnap struct {
+	Inodes      []inodeSnap
+	NextIno     msg.ObjectID
+	EpochSeq    msg.Epoch
+	AutoParents bool `json:",omitempty"`
+	Alloc       allocSnap
+	Exports     []*Export    `json:",omitempty"`
+	ExportSeq   uint64       `json:",omitempty"`
+	Imports     []importSnap `json:",omitempty"`
+}
+
+func sortedRefs(set map[msg.BlockRef]bool) []msg.BlockRef {
+	out := make([]msg.BlockRef, 0, len(set))
+	for ref := range set {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Disk != out[j].Disk {
+			return out[i].Disk < out[j].Disk
+		}
+		return out[i].Num < out[j].Num
+	})
+	return out
+}
+
+// Snapshot serializes the store deterministically.
+func (s *Store) Snapshot() []byte {
+	snap := storeSnap{
+		NextIno:     s.nextIno,
+		EpochSeq:    s.epochSeq,
+		AutoParents: s.autoParents,
+		ExportSeq:   s.exportSeq,
+	}
+	for _, ino := range sortedInos(s.inodes) {
+		in := s.inodes[ino]
+		snap.Inodes = append(snap.Inodes, inodeSnap{
+			Ino: in.Ino, IsDir: in.IsDir, Size: in.Size, Version: in.Version,
+			Nlink: in.Nlink, Blocks: in.Blocks, Children: in.children,
+		})
+	}
+	a := s.alloc
+	snap.Alloc = allocSnap{
+		Next:    a.next,
+		InUse:   sortedRefs(a.inUse),
+		Frees:   a.frees,
+		Foreign: sortedRefs(a.foreign),
+	}
+	for _, d := range a.disks {
+		snap.Alloc.Disks = append(snap.Alloc.Disks, diskSnap{d.id, d.capacity, d.cursor})
+	}
+	for _, e := range s.PendingExports() {
+		snap.Exports = append(snap.Exports, e)
+	}
+	for _, k := range sortedImportKeys(s.imports) {
+		snap.Imports = append(snap.Imports, importSnap{k.Src, k.HID, s.imports[k]})
+	}
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		panic(fmt.Sprintf("meta: snapshot marshal: %v", err))
+	}
+	return b
+}
+
+func sortedInos(m map[msg.ObjectID]*Inode) []msg.ObjectID {
+	out := make([]msg.ObjectID, 0, len(m))
+	for ino := range m {
+		out = append(out, ino)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedImportKeys(m map[importKey]msg.Errno) []importKey {
+	out := make([]importKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].HID < out[j].HID
+	})
+	return out
+}
+
+// Restore rebuilds a store from a Snapshot.
+func Restore(data []byte) (*Store, error) {
+	var snap storeSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("meta: snapshot decode: %w", err)
+	}
+	a := &Allocator{
+		next:    snap.Alloc.Next,
+		inUse:   make(map[msg.BlockRef]bool, len(snap.Alloc.InUse)),
+		frees:   snap.Alloc.Frees,
+		foreign: make(map[msg.BlockRef]bool, len(snap.Alloc.Foreign)),
+	}
+	if a.frees == nil {
+		a.frees = make(map[msg.NodeID][]uint64)
+	}
+	for _, d := range snap.Alloc.Disks {
+		a.disks = append(a.disks, diskSpace{id: d.ID, capacity: d.Capacity, cursor: d.Cursor})
+	}
+	for _, ref := range snap.Alloc.InUse {
+		a.inUse[ref] = true
+	}
+	for _, ref := range snap.Alloc.Foreign {
+		a.foreign[ref] = true
+	}
+	s := &Store{
+		inodes:      make(map[msg.ObjectID]*Inode, len(snap.Inodes)),
+		nextIno:     snap.NextIno,
+		alloc:       a,
+		epochSeq:    snap.EpochSeq,
+		autoParents: snap.AutoParents,
+		exports:     make(map[uint64]*Export, len(snap.Exports)),
+		exportSeq:   snap.ExportSeq,
+		migrating:   make(map[msg.ObjectID]uint64),
+		imports:     make(map[importKey]msg.Errno, len(snap.Imports)),
+	}
+	for i := range snap.Inodes {
+		in := &snap.Inodes[i]
+		node := &Inode{
+			Ino: in.Ino, IsDir: in.IsDir, Size: in.Size, Version: in.Version,
+			Nlink: in.Nlink, Blocks: in.Blocks, children: in.Children,
+		}
+		if node.IsDir && node.children == nil {
+			node.children = make(map[string]msg.ObjectID)
+		}
+		s.inodes[node.Ino] = node
+	}
+	for _, e := range snap.Exports {
+		s.exports[e.HID] = e
+		s.migrating[e.Ino] = e.HID
+	}
+	for _, im := range snap.Imports {
+		s.imports[importKey{Src: im.Src, HID: im.HID}] = im.Errno
+	}
+	return s, nil
+}
+
+// SaveSnapshot writes the store to path via temp-file + atomic rename: a
+// crash at any instant leaves either the previous snapshot or the new
+// one, never a torn file.
+func (s *Store) SaveSnapshot(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, s.Snapshot(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot rebuilds a store from a snapshot file. A missing file is
+// not an error: it returns (nil, nil), meaning no prior regime persisted
+// anything (cold boot).
+func LoadSnapshot(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Restore(data)
+}
+
+// CurrentEpoch reads the durable epoch counter without advancing it. A
+// nonzero value means clients registered under some prior regime — the
+// signal a newly activated replica uses to decide whether grace-period
+// recovery is needed.
+func (s *Store) CurrentEpoch() msg.Epoch { return s.epochSeq }

@@ -76,6 +76,11 @@ const (
 	btDLockRes
 	btShardMigrate
 	btShardMigrateRes
+	btReplicaPrepare
+	btReplicaPromise
+	btReplicaPropose
+	btReplicaAccept
+	btReplicaInfo
 )
 
 // Nested result identifiers for Reply bodies. brNil means Body == nil.
@@ -92,6 +97,7 @@ const (
 	brRejoinRes
 	brReassertRes
 	brFuncReadRes
+	brReplicaInfoRes
 )
 
 var (
@@ -205,6 +211,16 @@ func BinarySize(env *Envelope) (meta int, tail []byte, err error) {
 		meta = 49 + len(m.Path) + 12*len(m.Blocks)
 	case *ShardMigrateRes:
 		meta = 9
+	case *ReplicaPrepare:
+		meta = 12
+	case *ReplicaPromise:
+		meta = 26
+	case *ReplicaPropose:
+		meta = 16
+	case *ReplicaAccept:
+		meta = 13
+	case *ReplicaInfo:
+		meta = binReqHdrLen
 	default:
 		return 0, nil, ErrNoBinaryLayout
 	}
@@ -238,6 +254,8 @@ func binaryResultSize(res Result) (meta int, tail []byte, err error) {
 		return 5, nil, nil
 	case FuncReadRes:
 		return 1 + 4, r.Data, nil
+	case ReplicaInfoRes:
+		return 1 + 13, nil, nil
 	default:
 		return 0, nil, ErrNoBinaryLayout
 	}
@@ -544,6 +562,31 @@ func EncodeBinary(dst []byte, env *Envelope) error {
 		w.u8(btShardMigrateRes)
 		w.u64(m.HID)
 		w.u8(uint8(m.Err))
+	case *ReplicaPrepare:
+		w.u8(btReplicaPrepare)
+		w.i32(int32(m.From))
+		w.u64(m.Ballot)
+	case *ReplicaPromise:
+		w.u8(btReplicaPromise)
+		w.i32(int32(m.From))
+		w.u64(m.Ballot)
+		w.b1(m.OK)
+		w.b1(m.Accepted)
+		w.u64(m.AcceptedBallot)
+		w.i32(int32(m.AcceptedHolder))
+	case *ReplicaPropose:
+		w.u8(btReplicaPropose)
+		w.i32(int32(m.From))
+		w.u64(m.Ballot)
+		w.i32(int32(m.Holder))
+	case *ReplicaAccept:
+		w.u8(btReplicaAccept)
+		w.i32(int32(m.From))
+		w.u64(m.Ballot)
+		w.b1(m.OK)
+	case *ReplicaInfo:
+		w.u8(btReplicaInfo)
+		w.hdr(&m.ReqHeader)
 	default:
 		return ErrNoBinaryLayout
 	}
@@ -611,6 +654,11 @@ func encodeResult(w *wr, res Result) error {
 	case FuncReadRes:
 		w.u8(brFuncReadRes)
 		w.u32(uint32(len(r.Data))) // tail
+	case ReplicaInfoRes:
+		w.u8(brReplicaInfoRes)
+		w.u8(r.Role)
+		w.u64(r.Ballot)
+		w.i32(int32(r.Active))
 	default:
 		return ErrNoBinaryLayout
 	}
@@ -914,6 +962,19 @@ func DecodeBinary(body []byte) (*Envelope, error) {
 		p = m
 	case btShardMigrateRes:
 		p = &ShardMigrateRes{HID: r.u64(), Err: Errno(r.u8())}
+	case btReplicaPrepare:
+		p = &ReplicaPrepare{From: NodeID(r.i32()), Ballot: r.u64()}
+	case btReplicaPromise:
+		p = &ReplicaPromise{From: NodeID(r.i32()), Ballot: r.u64(),
+			OK: r.b1(), Accepted: r.b1(),
+			AcceptedBallot: r.u64(), AcceptedHolder: NodeID(r.i32())}
+	case btReplicaPropose:
+		p = &ReplicaPropose{From: NodeID(r.i32()), Ballot: r.u64(),
+			Holder: NodeID(r.i32())}
+	case btReplicaAccept:
+		p = &ReplicaAccept{From: NodeID(r.i32()), Ballot: r.u64(), OK: r.b1()}
+	case btReplicaInfo:
+		p = &ReplicaInfo{ReqHeader: r.hdr()}
 	default:
 		return nil, ErrCorruptFrame
 	}
@@ -972,6 +1033,9 @@ func decodeResult(r *rd) (Result, error) {
 		return ReassertRes{Epoch: Epoch(r.u32())}, nil
 	case brFuncReadRes:
 		return FuncReadRes{Data: r.bytesCopy()}, nil
+	case brReplicaInfoRes:
+		return ReplicaInfoRes{Role: r.u8(), Ballot: r.u64(),
+			Active: NodeID(r.i32())}, nil
 	default:
 		return nil, ErrCorruptFrame
 	}

@@ -88,6 +88,7 @@ const (
 	ErrDLockHeld // GFS-baseline disk lock is held by another initiator
 	ErrMedia     // disk media failure: the stable store could not serve/commit
 	ErrTorn      // disk media detected a torn write (checksum mismatch)
+	ErrNotActive // replica refused service: it does not hold the authority lease
 )
 
 var errnoNames = [...]string{
@@ -106,6 +107,7 @@ var errnoNames = [...]string{
 	ErrDLockHeld: "ErrDLockHeld",
 	ErrMedia:     "ErrMedia",
 	ErrTorn:      "ErrTorn",
+	ErrNotActive: "ErrNotActive",
 }
 
 func (e Errno) String() string {
@@ -143,6 +145,7 @@ const (
 	KindFence                        // fence administration on the SAN
 	KindLeaseAdmin                   // baseline lease traffic (heartbeats, per-object renewals)
 	KindShard                        // server-to-server shard handoff traffic
+	KindReplica                      // replica-to-replica authority-lease negotiation
 )
 
 var kindNames = [...]string{
@@ -156,6 +159,7 @@ var kindNames = [...]string{
 	KindFence:        "fence",
 	KindLeaseAdmin:   "lease-admin",
 	KindShard:        "shard",
+	KindReplica:      "replica",
 }
 
 func (k Kind) String() string {

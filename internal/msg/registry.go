@@ -13,13 +13,16 @@ func AllMessages() []Message {
 		&Truncate{}, &Open{}, &Close{}, &GetAttr{}, &SetAttr{}, &Readdir{},
 		&GetBlocks{}, &AllocBlocks{}, &LockAcquire{}, &LockRelease{},
 		&LockDowngraded{}, &Reassert{}, &Heartbeat{}, &RenewObjects{},
-		&FuncRead{}, &FuncWrite{},
+		&FuncRead{}, &FuncWrite{}, &ReplicaInfo{},
 		// Replies.
 		&Reply{},
 		// Server-initiated.
 		&Demand{}, &DemandAck{},
 		// Server-to-server shard handoff.
 		&ShardMigrate{}, &ShardMigrateRes{},
+		// Replica-to-replica authority-lease negotiation.
+		&ReplicaPrepare{}, &ReplicaPromise{}, &ReplicaPropose{},
+		&ReplicaAccept{},
 		// SAN.
 		&DiskRead{}, &DiskReadRes{}, &DiskWrite{}, &DiskWriteRes{},
 		&DiskWriteV{}, &DiskWriteVRes{}, &DiskReadV{}, &DiskReadVRes{},
@@ -35,6 +38,6 @@ func AllResults() []Result {
 	return []Result{
 		LookupRes{}, CreateRes{}, OpenRes{}, AttrRes{}, ReaddirRes{},
 		BlocksRes{}, AllocRes{}, LockRes{}, RejoinRes{}, ReassertRes{},
-		FuncReadRes{},
+		FuncReadRes{}, ReplicaInfoRes{},
 	}
 }

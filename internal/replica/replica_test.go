@@ -1,0 +1,241 @@
+package replica
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// harness wires M negotiators over a lossy simulated bus with per-node
+// rate-skewed clocks — the smallest installation that can exercise the
+// negotiation under fire.
+type harness struct {
+	s      *sim.Scheduler
+	cfg    Config // template: LeaseTerm, Bound, RetryInterval
+	group  []msg.NodeID
+	nodes  map[msg.NodeID]*Negotiator
+	clocks map[msg.NodeID]*sim.NodeClock
+	tr     *trace.Tracer
+	ring   *trace.Ring
+
+	// events records each emission alongside GLOBAL sim time, giving the
+	// safety assertion one timeline across skewed local clocks.
+	events []timedEvent
+
+	delay time.Duration
+	// dropRate is the seeded per-message loss probability; partitioned
+	// and crashed describe harder faults.
+	dropRate    float64
+	partitioned map[msg.NodeID]bool
+	crashed     map[msg.NodeID]bool
+
+	// intervals accumulates per-node believed-active spans for the
+	// at-most-one-holder assertion.
+	open   map[msg.NodeID]sim.Time
+	closed []holderSpan
+}
+
+type timedEvent struct {
+	ev     trace.Event
+	global sim.Time
+}
+
+type holderSpan struct {
+	node       msg.NodeID
+	from, till sim.Time
+}
+
+func newHarness(t *testing.T, seed int64, m int, term time.Duration) *harness {
+	t.Helper()
+	h := &harness{
+		s: sim.NewScheduler(seed),
+		cfg: Config{
+			LeaseTerm:     term,
+			Bound:         sim.RateBound{Eps: 0.05},
+			RetryInterval: 50 * time.Millisecond,
+		},
+		nodes:       make(map[msg.NodeID]*Negotiator),
+		clocks:      make(map[msg.NodeID]*sim.NodeClock),
+		ring:        trace.NewRing(1 << 14),
+		partitioned: make(map[msg.NodeID]bool),
+		crashed:     make(map[msg.NodeID]bool),
+		open:        make(map[msg.NodeID]sim.Time),
+		delay:       500 * time.Microsecond,
+	}
+	h.tr = trace.New(h.ring, trace.SinkFunc(func(e trace.Event) {
+		h.events = append(h.events, timedEvent{e, h.s.Now()})
+		switch e.Type {
+		case trace.EvReplicaLeaseGranted:
+			if _, is := h.open[e.Node]; !is {
+				h.open[e.Node] = h.s.Now()
+			}
+		case trace.EvReplicaStepdown:
+			h.closeSpan(e.Node)
+		}
+	}))
+	for i := 0; i < m; i++ {
+		h.group = append(h.group, msg.NodeID(1+i))
+	}
+	for _, id := range h.group {
+		h.boot(id, false)
+	}
+	return h
+}
+
+func (h *harness) closeSpan(id msg.NodeID) {
+	if from, is := h.open[id]; is {
+		h.closed = append(h.closed, holderSpan{id, from, h.s.Now()})
+		delete(h.open, id)
+	}
+}
+
+func (h *harness) boot(id msg.NodeID, warmup bool) {
+	rng := rand.New(rand.NewSource(int64(id) * 7919))
+	clock := h.s.NewClockWithin(h.cfg.Bound.Eps, rng)
+	cfg := h.cfg
+	cfg.Self, cfg.Group, cfg.Warmup = id, h.group, warmup
+	n := New(cfg, clock, h.sender(id), h.tr)
+	h.nodes[id] = n
+	h.clocks[id] = clock
+	delete(h.crashed, id)
+	n.Start()
+}
+
+func (h *harness) sender(from msg.NodeID) func(msg.NodeID, msg.Message) {
+	return func(to msg.NodeID, m msg.Message) {
+		if h.crashed[from] || h.partitioned[from] || h.partitioned[to] {
+			return
+		}
+		if h.dropRate > 0 && h.s.Rand().Float64() < h.dropRate {
+			return
+		}
+		jitter := time.Duration(h.s.Rand().Intn(500)) * time.Microsecond
+		h.s.After(h.delay+jitter, func() {
+			if h.crashed[to] || h.partitioned[from] || h.partitioned[to] {
+				return
+			}
+			if n := h.nodes[to]; n != nil {
+				n.Deliver(m)
+			}
+		})
+	}
+}
+
+func (h *harness) crash(id msg.NodeID) {
+	h.nodes[id].Stop()
+	h.crashed[id] = true
+	h.closeSpan(id) // a dead replica believes nothing
+}
+
+// assertAtMostOneHolder verifies the PaxosLease safety property on the
+// global timeline: no two replicas' believed-active spans overlap.
+func (h *harness) assertAtMostOneHolder(t *testing.T) {
+	t.Helper()
+	spans := append([]holderSpan(nil), h.closed...)
+	for id, from := range h.open {
+		spans = append(spans, holderSpan{id, from, h.s.Now()})
+	}
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.node == b.node {
+				continue
+			}
+			if a.from.Before(b.till) && b.from.Before(a.till) {
+				t.Fatalf("two holders at once: %v active [%v,%v] overlaps %v active [%v,%v]",
+					a.node, a.from, a.till, b.node, b.from, b.till)
+			}
+		}
+	}
+}
+
+func (h *harness) activeNode() (msg.NodeID, bool) {
+	for id, n := range h.nodes {
+		if !h.crashed[id] && n.Active() {
+			return id, true
+		}
+	}
+	return msg.None, false
+}
+
+// TestElectsSingleHolder: a cold 3-replica group elects exactly one
+// active, and renewals keep it active indefinitely.
+func TestElectsSingleHolder(t *testing.T) {
+	h := newHarness(t, 1, 3, 2*time.Second)
+	h.s.RunFor(time.Second)
+	id, ok := h.activeNode()
+	if !ok {
+		t.Fatal("no replica became active")
+	}
+	if id != h.group[0] {
+		t.Fatalf("cold boot elected %v, want staggered winner %v", id, h.group[0])
+	}
+	// Hold through many renewal cycles.
+	h.s.RunFor(30 * time.Second)
+	if got, ok := h.activeNode(); !ok || got != id {
+		t.Fatalf("holder changed without a fault: %v -> %v", id, got)
+	}
+	events := h.ring.Events()
+	if n := events.Count(trace.ByType(trace.EvReplicaStepdown)); n != 0 {
+		t.Fatalf("%d stepdowns during steady state", n)
+	}
+	if n := events.Count(trace.ByType(trace.EvReplicaLeaseGranted), trace.ByNote("renew")); n < 10 {
+		t.Fatalf("only %d renewals in 30s with a 2s term", n)
+	}
+	h.assertAtMostOneHolder(t)
+}
+
+// TestFailoverWithinBound: crash the active; a passive takes over within
+// one stretched lease term plus negotiation slack.
+func TestFailoverWithinBound(t *testing.T) {
+	h := newHarness(t, 2, 3, 2*time.Second)
+	h.s.RunFor(time.Second)
+	id, ok := h.activeNode()
+	if !ok {
+		t.Fatal("no replica became active")
+	}
+	killedAt := h.s.Now()
+	h.crash(id)
+	bound := h.cfg.Bound.Stretch(h.cfg.LeaseTerm) + // acceptors forget the dead holder
+		h.cfg.Bound.Stretch(4*h.cfg.RetryInterval*time.Duration(len(h.group))) // candidacy pacing + a round
+	h.s.RunWhile(func() bool {
+		_, ok := h.activeNode()
+		return !ok && h.s.Now().Sub(killedAt) < time.Minute
+	})
+	succ, ok := h.activeNode()
+	if !ok {
+		t.Fatal("no takeover after a minute")
+	}
+	if succ == id {
+		t.Fatal("crashed node still counted active")
+	}
+	if took := h.s.Now().Sub(killedAt); took > bound {
+		t.Fatalf("takeover took %v, bound %v", took, bound)
+	}
+	h.assertAtMostOneHolder(t)
+}
+
+// TestRestartWarmupRequired: a replica that crashes and restarts must sit
+// out the acquisition timeout before voting again (diskless amnesia).
+func TestRestartWarmupRequired(t *testing.T) {
+	h := newHarness(t, 3, 3, 2*time.Second)
+	h.s.RunFor(time.Second)
+	id, _ := h.activeNode()
+	h.crash(id)
+	h.s.RunFor(100 * time.Millisecond)
+	h.boot(id, true)
+	restarted := h.nodes[id]
+	h.s.RunFor(time.Second) // inside the warmup window
+	if restarted.Active() {
+		t.Fatal("restarted replica became active inside its warmup window")
+	}
+	h.s.RunFor(time.Minute)
+	if _, ok := h.activeNode(); !ok {
+		t.Fatal("group never re-elected after restart")
+	}
+	h.assertAtMostOneHolder(t)
+}

@@ -92,7 +92,15 @@ func (lc *liveCluster) start(t *testing.T, i int) {
 	cn := lc.clients[i]
 	done := make(chan msg.Epoch, 1)
 	cn.Do(func() {
-		cn.Client.OnRecovered = func(e msg.Epoch) { done <- e }
+		// OnRecovered fires again on every later revival (e.g. after an
+		// authority takeover); only the first one completes registration,
+		// and a blocking send here would wedge the client's event loop.
+		cn.Client.OnRecovered = func(e msg.Epoch) {
+			select {
+			case done <- e:
+			default:
+			}
+		}
 		cn.Client.Start()
 	})
 	select {

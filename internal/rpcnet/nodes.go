@@ -12,6 +12,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/faultnet"
 	"repro/internal/msg"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -96,19 +97,59 @@ type Topology struct {
 	// installation: every lease authority's control address, including
 	// this installation's own. Server nodes dial it for cross-shard
 	// handoffs, and StartShardClientNode runs one protocol instance per
-	// entry. Nil for a single-authority installation.
+	// entry. Nil for a single-authority installation. When ReplicaGroups
+	// is set, Servers also carries every replica member's address.
 	Servers map[msg.NodeID]string
+	// ReplicaGroups, when set, replicates lease authorities: each key is
+	// a group's primary ID — the authority identity clients route and
+	// hash placement by — and the value lists every member, primary
+	// included, in an order all members agree on. StartServerNode gives
+	// any node whose ID appears in a group the PaxosLease negotiator role
+	// (see internal/replica); clients dial the whole group and follow
+	// ErrNotActive redirects to whichever member holds the authority
+	// lease. Every member needs an address in Servers.
+	ReplicaGroups map[msg.NodeID][]msg.NodeID
 	// Disks maps each disk's node ID to its SAN listen address.
 	Disks map[msg.NodeID]string
 }
 
+// GroupOf returns the replica group id belongs to (nil if id is not a
+// member of any group).
+func (t Topology) GroupOf(id msg.NodeID) []msg.NodeID {
+	for _, members := range t.ReplicaGroups {
+		for _, m := range members {
+			if m == id {
+				return members
+			}
+		}
+	}
+	return nil
+}
+
+// primaryOf maps a group member to its group's primary ID; IDs outside
+// every group map to themselves.
+func (t Topology) primaryOf(id msg.NodeID) msg.NodeID {
+	for p, members := range t.ReplicaGroups {
+		for _, m := range members {
+			if m == id {
+				return p
+			}
+		}
+	}
+	return id
+}
+
 // ServerIDs returns the sharded address book's authority IDs in sorted
 // order — the canonical shard enumeration every node must agree on for
-// hash placement to be consistent installation-wide.
+// hash placement to be consistent installation-wide. Replica members
+// are folded into their group's primary: replication multiplies
+// servers, not shards.
 func (t Topology) ServerIDs() []msg.NodeID {
 	ids := make([]msg.NodeID, 0, len(t.Servers))
 	for id := range t.Servers {
-		ids = append(ids, id)
+		if t.primaryOf(id) == id {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -270,9 +311,34 @@ type ServerNode struct {
 }
 
 // StartServerNode launches the topology's server: it listens for clients
-// on Topo.ServerAddr and dials the disks in Topo.Disks.
+// on Topo.ServerAddr and dials the disks in Topo.Disks. A node whose ID
+// appears in Topo.ReplicaGroups additionally runs the PaxosLease
+// negotiator — there is no separate replica entry point; passive,
+// candidate, and active are runtime roles of the same server.
 func StartServerNode(spec NodeSpec, cfg server.Config, opts ...Option) (*ServerNode, error) {
 	o := buildOptions(opts)
+	if g := spec.Topo.GroupOf(spec.ID); g != nil {
+		// The topology decides WHO replicates; cfg.Replica (when given)
+		// only tunes HOW. Unset knobs inherit the protocol defaults.
+		rc := replica.Config{}
+		if cfg.Replica != nil {
+			rc = *cfg.Replica
+		}
+		rc.Self = spec.ID
+		if rc.Group == nil {
+			rc.Group = g
+		}
+		if rc.LeaseTerm == 0 {
+			rc.LeaseTerm = replica.DefaultLeaseTerm
+		}
+		if rc.RetryInterval == 0 {
+			rc.RetryInterval = cfg.Core.RetryInterval
+		}
+		if rc.Bound.Eps == 0 {
+			rc.Bound = cfg.Core.Bound
+		}
+		cfg.Replica = &rc
+	}
 	n := &ServerNode{Exec: NewExecutor(), Reg: o.reg}
 	// Peer authorities (if any) are dialable for cross-shard handoffs;
 	// client connections are still learned from inbound Hello frames.
@@ -356,11 +422,24 @@ type ClientNode struct {
 }
 
 // StartClientNode launches client spec.ID: it dials the topology's
-// server on the control network and the disks on the SAN.
+// server on the control network and the disks on the SAN. When the
+// server is a replica group, the client dials every member and rotates
+// across them on redirects and silence.
 func StartClientNode(spec NodeSpec, cfg client.Config, opts ...Option) (*ClientNode, error) {
 	o := buildOptions(opts)
 	n := &ClientNode{Exec: NewExecutor(), Reg: o.reg}
-	n.Ctrl = New(spec.ID, map[msg.NodeID]string{spec.Topo.Server: spec.Topo.ServerAddr},
+	peers := map[msg.NodeID]string{spec.Topo.Server: spec.Topo.ServerAddr}
+	if g := spec.Topo.GroupOf(spec.Topo.Server); g != nil {
+		for _, m := range g {
+			if addr, ok := spec.Topo.Servers[m]; ok {
+				peers[m] = addr
+			}
+		}
+		if cfg.Replicas == nil {
+			cfg.Replicas = g
+		}
+	}
+	n.Ctrl = New(spec.ID, peers,
 		func(env msg.Envelope) { n.Client.Deliver(env) })
 	n.SAN = New(spec.ID, spec.Topo.Disks, func(env msg.Envelope) { n.Client.DeliverSAN(env) })
 	n.Ctrl.UseExecutor(n.Exec)
@@ -424,10 +503,12 @@ func (n *ClientNode) Close() {
 // route them — a handed-off file's blocks stay on the source shard's
 // disks).
 type ShardClientNode struct {
-	// Subs maps each authority to the node's protocol instance for it.
+	// Subs maps each authority (a replica group's primary ID, when
+	// replicated) to the node's protocol instance for it.
 	Subs  map[msg.NodeID]*client.Client
 	byIdx []*client.Client
 	route func(path string) msg.NodeID
+	topo  Topology
 	Ctrl  *Transport
 	SAN   *Transport
 	Exec  *Executor
@@ -448,6 +529,7 @@ func StartShardClientNode(spec NodeSpec, cfg client.Config, route func(path stri
 	n := &ShardClientNode{
 		Subs:  make(map[msg.NodeID]*client.Client, len(spec.Topo.Servers)),
 		route: route,
+		topo:  spec.Topo,
 		Exec:  NewExecutor(),
 		Reg:   o.reg,
 	}
@@ -467,6 +549,9 @@ func StartShardClientNode(spec NodeSpec, cfg client.Config, route func(path stri
 	for i, sid := range spec.Topo.ServerIDs() {
 		subCfg := cfg
 		subCfg.SANReqBase = msg.ReqID(i+1) << 48
+		if g := spec.Topo.GroupOf(sid); g != nil && subCfg.Replicas == nil {
+			subCfg.Replicas = g
+		}
 		sub := client.New(spec.ID, sid, subCfg, clock,
 			n.Ctrl.Send, n.SAN.Send, nil, n.Reg, o.tracer)
 		n.Subs[sid] = sub
@@ -476,8 +561,10 @@ func StartShardClientNode(spec NodeSpec, cfg client.Config, route func(path stri
 	return n, nil
 }
 
+// deliverCtrl routes inbound control traffic by source authority; a
+// replica member's traffic belongs to its group primary's instance.
 func (n *ShardClientNode) deliverCtrl(env msg.Envelope) {
-	if sub, ok := n.Subs[env.From]; ok {
+	if sub, ok := n.Subs[n.topo.primaryOf(env.From)]; ok {
 		sub.Deliver(env)
 	}
 }

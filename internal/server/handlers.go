@@ -20,6 +20,19 @@ func (s *Server) handleRequest(req msg.Request) {
 	h := req.Hdr()
 	client, id := h.Client, h.Req
 
+	// The operator role query is answered by every replica, active or
+	// not, before any registration or epoch checks (like Rejoin).
+	if _, isInfo := req.(*msg.ReplicaInfo); isInfo {
+		s.handleReplicaInfo(client, id)
+		return
+	}
+	// A passive replica serves nobody: redirect the client to the
+	// authority (replica.go).
+	if !s.authorityHeld() {
+		s.redirect(client, id)
+		return
+	}
+
 	if _, isRejoin := req.(*msg.Rejoin); isRejoin {
 		s.handleRejoin(client, id)
 		return

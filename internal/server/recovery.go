@@ -185,6 +185,12 @@ func (s *Server) schedulePerObjectSteal(client msg.NodeID) {
 // waiters), cancels demands aimed at it, closes its handles, and — when
 // fence is true — erects the SAN fence.
 func (s *Server) stealAndFence(client msg.NodeID, fence bool) {
+	if !s.authorityHeld() {
+		// A stale suspect timer from a pre-stepdown authority incarnation:
+		// this replica no longer speaks for the lease, so it must neither
+		// steal nor fence.
+		return
+	}
 	s.cancelDemandsTo(client)
 	s.locks.StealAll(client)
 	delete(s.handles, client)

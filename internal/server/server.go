@@ -16,6 +16,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/meta"
 	"repro/internal/msg"
+	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -75,6 +76,18 @@ type Config struct {
 	// curve. 0 preserves the immediate-execution behavior everywhere
 	// else.
 	ServiceTime time.Duration
+	// Replica, when non-nil, makes this server one member of a replicated
+	// authority group (replica.go): it boots passive and serves clients
+	// only while it holds the PaxosLease-negotiated authority lease.
+	// Nil = sole authority, behavior unchanged.
+	Replica *replica.Config
+	// MetaPersist, when set, is the snapshot file an ACTIVE replicated
+	// server persists its metadata store to before every reply (live
+	// replicas are separate processes, so the paper's highly-available
+	// server-private storage is modeled as a durable file), and a newly
+	// activated replica recovers from. Empty = in-memory only (the sim
+	// models HA by sharing the Store between replicas).
+	MetaPersist string
 }
 
 // withDefaults fills unset fields.
@@ -111,6 +124,12 @@ type Server struct {
 	locks  *lock.Table
 	auth   *core.Authority
 	rcache *core.ReplyCache
+
+	// Replicated-authority state (replica.go). neg is nil for a sole
+	// authority; activeFlg tracks whether this replica currently holds
+	// the authority lease.
+	neg       *replica.Negotiator
+	activeFlg bool
 
 	// Registration state (lock/FS state, not lease state): epoch per
 	// registered client, open handles.
@@ -176,6 +195,11 @@ type Server struct {
 	// server.<id>.locks_held so a sharded installation's SIGUSR1 dump
 	// shows each authority's load side by side.
 	locksHeld *stats.Gauge
+	// roleGauge/ballotGauge expose the replica role (a msg.Role* value)
+	// and current negotiation ballot per server, same per-id naming.
+	roleGauge     *stats.Gauge
+	ballotGauge   *stats.Gauge
+	redirectsSent *stats.Counter
 }
 
 // New creates a server. reg and tr may be nil; tr receives the server's
@@ -213,38 +237,54 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		sanPending:    make(map[msg.ReqID]*sanCall),
 		handoffs:      make(map[uint64]*pendingHandoff),
 
-		reg:          reg,
-		transactions: reg.Counter(prefix + "transactions"),
-		msgsIn:       reg.Counter(prefix + "msgs_in"),
-		msgsOut:      reg.Counter(prefix + "msgs_out"),
-		bytesIn:      reg.Counter(prefix + "bytes_in"),
-		bytesOut:     reg.Counter(prefix + "bytes_out"),
-		dataBytes:    reg.Counter(prefix + "data_bytes"),
-		leaseOps:     reg.Counter(prefix + "lease_ops"),
-		leaseBytes:   reg.Gauge(prefix + "lease_state_bytes"),
-		nacksSent:    reg.Counter(prefix + "nacks_sent"),
-		demandsSent:  reg.Counter(prefix + "demands_sent"),
-		fences:       reg.Counter(prefix + "fences"),
-		locksHeld:    reg.Gauge(fmt.Sprintf("server.%v.locks_held", id)),
+		reg:           reg,
+		transactions:  reg.Counter(prefix + "transactions"),
+		msgsIn:        reg.Counter(prefix + "msgs_in"),
+		msgsOut:       reg.Counter(prefix + "msgs_out"),
+		bytesIn:       reg.Counter(prefix + "bytes_in"),
+		bytesOut:      reg.Counter(prefix + "bytes_out"),
+		dataBytes:     reg.Counter(prefix + "data_bytes"),
+		leaseOps:      reg.Counter(prefix + "lease_ops"),
+		leaseBytes:    reg.Gauge(prefix + "lease_state_bytes"),
+		nacksSent:     reg.Counter(prefix + "nacks_sent"),
+		demandsSent:   reg.Counter(prefix + "demands_sent"),
+		fences:        reg.Counter(prefix + "fences"),
+		locksHeld:     reg.Gauge(fmt.Sprintf("server.%v.locks_held", id)),
+		roleGauge:     reg.Gauge(fmt.Sprintf("server.%v.role", id)),
+		ballotGauge:   reg.Gauge(fmt.Sprintf("server.%v.ballot", id)),
+		redirectsSent: reg.Counter(prefix + "redirects_sent"),
 	}
 	s.tracer = tr
 	s.locks = lock.NewTable(demanderFunc(s.sendDemand))
 	s.auth = core.NewAuthority(cfg.Core, clock, authorityActions{s},
 		core.Env{Reg: reg, Prefix: prefix, Tracer: tr, Node: id})
 	if cfg.Store != nil {
-		// Restart: recover the durable store, open the grace window.
 		s.store = cfg.Store
-		s.inRecovery = true
-		s.graceUntil = clock.Now().Add(cfg.GracePeriod)
-		clock.AfterFunc(cfg.GracePeriod, func() {
-			if s.stopped {
-				// This incarnation crashed during its grace window and
-				// was replaced; like every other timer path, a stale
-				// callback must not act on the dead incarnation.
-				return
-			}
-			s.inRecovery = false
-		})
+		if cfg.Replica == nil {
+			// Restart: recover the durable store, open the grace window.
+			// (A replicated server defers this decision to activation —
+			// see activate in replica.go.)
+			s.inRecovery = true
+			s.graceUntil = clock.Now().Add(cfg.GracePeriod)
+			clock.AfterFunc(cfg.GracePeriod, func() {
+				if s.stopped {
+					// This incarnation crashed during its grace window and
+					// was replaced; like every other timer path, a stale
+					// callback must not act on the dead incarnation.
+					return
+				}
+				s.inRecovery = false
+			})
+		}
+	}
+	if cfg.Replica != nil {
+		s.neg = replica.New(*cfg.Replica, clock,
+			func(to msg.NodeID, m msg.Message) { s.send(to, m) }, tr)
+		s.neg.OnActive = s.activate
+		s.neg.OnStepdown = s.deactivate
+		s.neg.Start()
+	} else {
+		s.activeFlg = true
 	}
 	if cfg.PlaceOwner != nil {
 		s.store.SetAutoParents(true)
@@ -252,17 +292,29 @@ func New(id msg.NodeID, cfg Config, clock sim.Clock, ctrl, san Sender,
 		// records survive in the store, the destination's import ledger
 		// makes retransmission idempotent. The requesting client's reply
 		// is gone with the crash; it retries and attaches to the export.
-		for _, e := range s.store.PendingExports() {
-			s.resumeHandoff(e)
+		// A passive replica defers this to activation.
+		if s.authorityHeld() {
+			for _, e := range s.store.PendingExports() {
+				s.resumeHandoff(e)
+			}
 		}
 	}
+	s.syncRoleGauges()
 	return s
 }
 
 // Stop retires this server instance (crash simulation): deliveries are
 // ignored and outbound messages suppressed, so timers still pending on
 // the shared clock cannot act for the dead incarnation.
-func (s *Server) Stop() { s.stopped = true }
+func (s *Server) Stop() {
+	s.stopped = true
+	if s.neg != nil {
+		s.neg.Stop()
+	}
+}
+
+// Stopped reports whether this incarnation has been retired by Stop.
+func (s *Server) Stopped() bool { return s.stopped }
 
 // InGrace reports whether the post-restart reassertion window is open.
 func (s *Server) InGrace() bool {
@@ -319,6 +371,11 @@ func (s *Server) Deliver(env msg.Envelope) {
 		s.handleShardMigrate(m)
 	case *msg.ShardMigrateRes:
 		s.handleShardMigrateRes(m)
+	case *msg.ReplicaPrepare, *msg.ReplicaPromise, *msg.ReplicaPropose, *msg.ReplicaAccept:
+		if s.neg != nil {
+			s.neg.Deliver(env.Payload)
+			s.syncRoleGauges()
+		}
 	default:
 		// Unknown control traffic is dropped, like any datagram service.
 	}
@@ -379,11 +436,14 @@ func (s *Server) send(to msg.NodeID, m msg.Message) {
 	s.ctrl(to, m)
 }
 
-// reply completes a request through the at-most-once cache.
+// reply completes a request through the at-most-once cache. A replicated
+// active persists the metadata store first: no acknowledged operation may
+// die with this process (persist-before-reply).
 func (s *Server) reply(client msg.NodeID, req msg.ReqID, r *msg.Reply) {
 	r.Client = client
 	r.Req = req
 	s.rcache.Complete(client, req, r)
+	s.persistMeta()
 	s.send(client, r)
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/meta"
 	"repro/internal/msg"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -46,6 +47,16 @@ type Options struct {
 	ServerService time.Duration
 	// DiskService is the per-operation disk latency.
 	DiskService time.Duration
+	// Replicas, when ≥ 2, gives every shard a replicated lease authority:
+	// M diskless server replicas negotiate the active role PaxosLease-
+	// style (internal/replica), sharing one metadata store (the paper's
+	// highly-available server-private storage). 0 or 1 = sole authority,
+	// behavior unchanged.
+	Replicas int
+	// ReplicaLeaseTerm is the authority-lease term for replicated shards
+	// (default DefaultReplicaLeaseTerm). Takeover after an active crash is
+	// bounded by this term stretched by ε plus negotiation slack.
+	ReplicaLeaseTerm time.Duration
 }
 
 // DefaultOptions returns a 2-shard, 2-client installation.
@@ -61,14 +72,23 @@ func DefaultOptions() Options {
 	}
 }
 
-// Node IDs: servers 1..S, clients 10.., disks 100000.. — the disk base
-// sits above any realistic client count (the scale benchmark runs 10k
-// clients, i.e. IDs up to ~10010) and below the allocator's 1<<20 ID
-// ceiling.
+// Node IDs: servers 1..S, clients 10.., replica peers 1001.., disks
+// 100000.. — the disk base sits above any realistic client count (the
+// scale benchmark runs 10k clients, i.e. IDs up to ~10010) and below the
+// allocator's 1<<20 ID ceiling.
 const diskBase msg.NodeID = 100000
+
+// DefaultReplicaLeaseTerm is the authority-lease term when
+// Options.ReplicaLeaseTerm is zero.
+const DefaultReplicaLeaseTerm = replica.DefaultLeaseTerm
 
 // ServerID returns the node ID of shard index i's lease authority.
 func ServerID(i int) msg.NodeID { return msg.NodeID(1 + i) }
+
+// ReplicaID returns the node ID of replica j of shard i's authority
+// group: replica 0 is ServerID(i), higher replicas sit at +1000 strides —
+// clear of client IDs (10..) and below the disk base.
+func ReplicaID(i, j int) msg.NodeID { return ServerID(i) + msg.NodeID(1000*j) }
 
 // ClientID returns the node ID of client index i.
 func ClientID(i int) msg.NodeID { return msg.NodeID(10 + i) }
@@ -79,6 +99,28 @@ type Shard struct {
 	Server *server.Server
 	// Disks lists the shard's own SAN devices and capacities.
 	Disks map[msg.NodeID]uint64
+	// Replicated-authority state (Options.Replicas ≥ 2). Replicas holds
+	// every group member (Replicas[0] == Server); Group their node IDs in
+	// ballot order; Store the shared metadata store that models the
+	// paper's highly-available server-private storage.
+	Replicas []*server.Server
+	Group    []msg.NodeID
+	Store    *meta.Store
+}
+
+// Active returns the replica currently holding the shard's authority
+// lease, or nil if none does right now. For an unreplicated shard it is
+// always the server.
+func (sh *Shard) Active() *server.Server {
+	if len(sh.Replicas) == 0 {
+		return sh.Server
+	}
+	for _, srv := range sh.Replicas {
+		if !srv.Stopped() && srv.ActiveAuthority() {
+			return srv
+		}
+	}
+	return nil
 }
 
 // Cluster is the full sharded installation.
@@ -142,14 +184,26 @@ func New(opts Options) *Cluster {
 	}
 	for si := 0; si < opts.Shards; si++ {
 		sid := ServerID(si)
-		srv := server.New(sid, cl.serverConfig(diskMaps[si], nil),
-			s.NewClock(1, 0),
-			func(to msg.NodeID, m msg.Message) { cl.Control.Send(sid, to, m) },
-			func(to msg.NodeID, m msg.Message) { cl.SAN.Send(sid, to, m) },
-			reg, opts.Tracer)
-		cl.Control.Attach(sid, srv.Deliver)
-		cl.SAN.Attach(sid, srv.DeliverSAN)
-		cl.Shards = append(cl.Shards, Shard{ID: sid, Server: srv, Disks: diskMaps[si]})
+		if opts.Replicas < 2 {
+			srv := cl.bootServer(sid, cl.serverConfig(diskMaps[si], nil, nil))
+			cl.Shards = append(cl.Shards, Shard{ID: sid, Server: srv, Disks: diskMaps[si]})
+			continue
+		}
+		// Replicated authority: M diskless negotiators share one metadata
+		// store (HA server-private storage) and elect the active.
+		sh := Shard{ID: sid, Disks: diskMaps[si],
+			Store: meta.NewStore(meta.NewAllocator(diskMaps[si]))}
+		for j := 0; j < opts.Replicas; j++ {
+			sh.Group = append(sh.Group, ReplicaID(si, j))
+		}
+		for j := 0; j < opts.Replicas; j++ {
+			rid := ReplicaID(si, j)
+			srv := cl.bootServer(rid,
+				cl.serverConfig(diskMaps[si], sh.Store, cl.replicaConfig(&sh, rid, false)))
+			sh.Replicas = append(sh.Replicas, srv)
+		}
+		sh.Server = sh.Replicas[0]
+		cl.Shards = append(cl.Shards, sh)
 	}
 
 	for ci := 0; ci < opts.Clients; ci++ {
@@ -157,6 +211,7 @@ func New(opts Options) *Cluster {
 			cl:      cl,
 			idx:     ci,
 			subs:    make(map[msg.NodeID]*client.Client, opts.Shards),
+			routes:  make(map[msg.NodeID]*client.Client, opts.Shards),
 			handles: make(map[msg.Handle]routedHandle),
 		}
 		cid := ClientID(ci)
@@ -173,11 +228,18 @@ func New(opts Options) *Cluster {
 			sub := client.New(cid, sh.ID, client.Config{
 				Core: opts.Core, Policy: baselines.StorageTank(),
 				SANReqBase: msg.ReqID(si+1) << 48,
+				Replicas:   sh.Group,
 			}, s.NewClock(1, 0),
 				func(to msg.NodeID, m msg.Message) { cl.Control.Send(cid, to, m) },
 				func(to msg.NodeID, m msg.Message) { cl.SAN.Send(cid, to, m) },
 				oracle, reg, opts.Tracer)
 			node.subs[sh.ID] = sub
+			node.routes[sh.ID] = sub
+			// Replies and demands may arrive from any member of a
+			// replicated authority group; route them all to this sub.
+			for _, rid := range sh.Group {
+				node.routes[rid] = sub
+			}
 			node.byIdx = append(node.byIdx, sub)
 		}
 		cl.Nodes = append(cl.Nodes, node)
@@ -193,12 +255,13 @@ func New(opts Options) *Cluster {
 // PlaceOwner is set), and fences the installation-wide disk set, since a
 // handed-off file's blocks may live on any shard's disks. store is
 // non-nil on restart.
-func (cl *Cluster) serverConfig(disks map[msg.NodeID]uint64, store *meta.Store) server.Config {
+func (cl *Cluster) serverConfig(disks map[msg.NodeID]uint64, store *meta.Store,
+	rep *replica.Config) server.Config {
 	place := cl.Opts.Placement
 	shards := cl.Opts.Shards
 	return server.Config{
 		Core: cl.Opts.Core, Policy: baselines.StorageTank(),
-		Disks: disks, Store: store,
+		Disks: disks, Store: store, Replica: rep,
 		PlaceOwner: func(path string) msg.NodeID {
 			idx, ok := place.Owner(path)
 			if !ok || idx < 0 || idx >= shards {
@@ -209,6 +272,32 @@ func (cl *Cluster) serverConfig(disks map[msg.NodeID]uint64, store *meta.Store) 
 		FenceDisks:  cl.allDisks,
 		ServiceTime: cl.Opts.ServerService,
 	}
+}
+
+// replicaConfig builds the negotiation parameters for one member of a
+// shard's authority group.
+func (cl *Cluster) replicaConfig(sh *Shard, self msg.NodeID, warmup bool) *replica.Config {
+	term := cl.Opts.ReplicaLeaseTerm
+	if term == 0 {
+		term = DefaultReplicaLeaseTerm
+	}
+	return &replica.Config{
+		Self: self, Group: sh.Group,
+		LeaseTerm: term, Bound: cl.Opts.Core.Bound,
+		RetryInterval: cl.Opts.Core.RetryInterval,
+		Warmup:        warmup,
+	}
+}
+
+// bootServer creates and attaches one server (or replica) node.
+func (cl *Cluster) bootServer(id msg.NodeID, cfg server.Config) *server.Server {
+	srv := server.New(id, cfg, cl.Sched.NewClock(1, 0),
+		func(to msg.NodeID, m msg.Message) { cl.Control.Send(id, to, m) },
+		func(to msg.NodeID, m msg.Message) { cl.SAN.Send(id, to, m) },
+		cl.Reg, cl.Opts.Tracer)
+	cl.Control.Attach(id, srv.Deliver)
+	cl.SAN.Attach(id, srv.DeliverSAN)
+	return srv
 }
 
 // Start registers every protocol instance with its authority (in shard
@@ -242,10 +331,13 @@ func (cl *Cluster) Start() {
 // instances. Every sub-client has its own channel, lease state machine,
 // lock set, cache, and SAN request-ID space.
 type Node struct {
-	cl    *Cluster
-	idx   int
-	subs  map[msg.NodeID]*client.Client
-	byIdx []*client.Client
+	cl   *Cluster
+	idx  int
+	subs map[msg.NodeID]*client.Client
+	// routes maps EVERY node a sub-client may hear from — the primary
+	// authority plus its replica peers — to that sub.
+	routes map[msg.NodeID]*client.Client
+	byIdx  []*client.Client
 
 	// Node-level handles map to (server, sub-handle).
 	nextH   msg.Handle
@@ -260,7 +352,7 @@ type routedHandle struct {
 // deliverControl routes inbound control traffic to the sub-client that
 // owns the lease with the sending server.
 func (n *Node) deliverControl(env msg.Envelope) {
-	if sub, ok := n.subs[env.From]; ok {
+	if sub, ok := n.routes[env.From]; ok {
 		sub.Deliver(env)
 	}
 }
@@ -445,14 +537,51 @@ func (cl *Cluster) RestartServer(si int) {
 	sh := &cl.Shards[si]
 	cl.Control.Restart(sh.ID)
 	cl.SAN.Restart(sh.ID)
-	srv := server.New(sh.ID, cl.serverConfig(sh.Disks, sh.Server.Store()),
-		cl.Sched.NewClock(1, 0),
-		func(to msg.NodeID, m msg.Message) { cl.Control.Send(sh.ID, to, m) },
-		func(to msg.NodeID, m msg.Message) { cl.SAN.Send(sh.ID, to, m) },
-		cl.Reg, cl.Opts.Tracer)
+	srv := cl.bootServer(sh.ID, cl.serverConfig(sh.Disks, sh.Server.Store(), nil))
 	sh.Server = srv
-	cl.Control.Attach(sh.ID, srv.Deliver)
-	cl.SAN.Attach(sh.ID, srv.DeliverSAN)
+}
+
+// CrashReplica fails member ri of shard si's authority group: its
+// negotiator, volatile state, and network presence are gone; the shared
+// store (HA server-private storage) survives.
+func (cl *Cluster) CrashReplica(si, ri int) {
+	sh := &cl.Shards[si]
+	srv := sh.Replicas[ri]
+	srv.Stop()
+	cl.Control.Crash(srv.ID())
+	cl.SAN.Crash(srv.ID())
+}
+
+// RestartReplica brings member ri of shard si's group back as a fresh
+// diskless negotiator. It restarts in warmup: having forgotten its
+// promises, it must sit out one acquisition timeout before voting or
+// campaigning again (see replica.Config.Warmup).
+func (cl *Cluster) RestartReplica(si, ri int) {
+	sh := &cl.Shards[si]
+	rid := sh.Group[ri]
+	cl.Control.Restart(rid)
+	cl.SAN.Restart(rid)
+	srv := cl.bootServer(rid, cl.serverConfig(sh.Disks, sh.Store, cl.replicaConfig(sh, rid, true)))
+	sh.Replicas[ri] = srv
+	if ri == 0 {
+		sh.Server = srv
+	}
+}
+
+// IsolateReplica partitions member ri of shard si's group from its peers
+// and from every client node — the replica stays up but can neither
+// renew nor serve. HealAll lifts it.
+func (cl *Cluster) IsolateReplica(si, ri int) {
+	sh := &cl.Shards[si]
+	rid := sh.Group[ri]
+	for _, peer := range sh.Group {
+		if peer != rid {
+			cl.Control.Block(rid, peer)
+		}
+	}
+	for ci := 0; ci < cl.Opts.Clients; ci++ {
+		cl.Control.Block(rid, ClientID(ci))
+	}
 }
 
 // --- synchronous conveniences (tests, experiments) ---------------------------

@@ -114,6 +114,32 @@ const (
 	// EvShardAbort: the destination refused a handoff and the source
 	// shard kept ownership of Ino; Note carries the handoff id and errno.
 	EvShardAbort
+	// EvReplicaBallotOpen: a replica opened a PaxosLease ballot (Epoch
+	// carries the ballot number) and sent prepares to the group.
+	EvReplicaBallotOpen
+	// EvReplicaPromise: an acceptor promised ballot Epoch to Peer; Note
+	// is "accepted=nK holder" when the promise carried live accepted
+	// state, "reject" when the ballot was refused.
+	EvReplicaPromise
+	// EvReplicaPropose: a candidate with a promised majority proposed
+	// itself as lease holder under ballot Epoch.
+	EvReplicaPropose
+	// EvReplicaLeaseGranted: a majority accepted — the replica holds the
+	// authority lease under ballot Epoch. TC1 is the conservative lease
+	// start (captured before the prepare was sent); the lease runs
+	// [TC1, TC1+term) on the holder's clock. Note is "renew" for
+	// extensions of a lease already held.
+	EvReplicaLeaseGranted
+	// EvReplicaStepdown: the holder's lease lapsed without a successful
+	// extension (or it observed a higher ballot) and it stopped acting as
+	// the authority.
+	EvReplicaStepdown
+	// EvReplicaTakeover: a replica activated as the shard's lease
+	// authority and entered service; Note is "cold" for a first boot with
+	// no prior client registrations, "grace" when the activation opened a
+	// §6 grace-period recovery window, and "grace-end" marks the same
+	// node leaving that window.
+	EvReplicaTakeover
 )
 
 var typeNames = [...]string{
@@ -141,6 +167,13 @@ var typeNames = [...]string{
 	EvShardInstall: "shard-install",
 	EvShardDone:    "shard-done",
 	EvShardAbort:   "shard-abort",
+
+	EvReplicaBallotOpen:   "replica-ballot-open",
+	EvReplicaPromise:      "replica-promise",
+	EvReplicaPropose:      "replica-propose",
+	EvReplicaLeaseGranted: "replica-lease-granted",
+	EvReplicaStepdown:     "replica-stepdown",
+	EvReplicaTakeover:     "replica-takeover",
 }
 
 func (t Type) String() string {

@@ -10,9 +10,6 @@ package storagetank
 // []Option configures a simulated Cluster (NewClusterWith), a simulated
 // sharded installation (NewShardClusterWith), or a live TCP node
 // (StartServer / StartDisk / StartClient).
-//
-// The struct-based surface (Options, DefaultOptions, NewCluster) remains
-// as a thin shim over the same machinery.
 
 import (
 	"fmt"
@@ -22,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/disk"
 	"repro/internal/msg"
+	"repro/internal/replica"
 	"repro/internal/rpcnet"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -33,7 +31,7 @@ import (
 type Build struct {
 	// Cluster configures a simulated single-server installation
 	// (NewClusterWith).
-	Cluster Options
+	Cluster cluster.Options
 	// Shard configures a simulated sharded installation
 	// (NewShardClusterWith).
 	Shard ShardOptions
@@ -53,11 +51,12 @@ type Build struct {
 // be shared between a simulation and its live counterpart.
 type Option func(*Build)
 
-// NewBuild returns the default configuration: DefaultOptions for the
-// cluster surface, DefaultShardOptions for the sharded surface, and no
-// live-node options.
+// NewBuild returns the default configuration: a 3-client, 2-disk
+// single-server installation for the cluster surface,
+// DefaultShardOptions for the sharded surface, and no live-node
+// options.
 func NewBuild() Build {
-	return Build{Cluster: DefaultOptions(), Shard: DefaultShardOptions()}
+	return Build{Cluster: cluster.DefaultOptions(), Shard: DefaultShardOptions()}
 }
 
 // Resolve applies opts over the defaults. Constructors call this; it is
@@ -100,10 +99,23 @@ func WithShards(n int) Option {
 	return func(b *Build) { b.Shard.Shards = n }
 }
 
-// WithServers is the historical name for WithShards.
-//
-// Deprecated: use WithShards.
-func WithServers(n int) Option { return WithShards(n) }
+// WithReplicas gives every lease authority a replica group of m
+// members (m ≥ 2) negotiating the active role by diskless PaxosLease
+// (DESIGN.md §15); m ≤ 1 keeps singleton authorities. Live
+// installations declare groups in Topology.ReplicaGroups instead — the
+// topology is the address book, so membership must live there. [shard]
+func WithReplicas(m int) Option {
+	return func(b *Build) { b.Shard.Replicas = m }
+}
+
+// WithReplicaLeaseTerm sets the authority-lease term of a replicated
+// installation (0 = the default; shorter terms take over faster and
+// renew more often). The takeover window after an active replica's
+// crash is bounded by term·(1+ε) plus negotiation retries plus the
+// grace period. [shard, live server]
+func WithReplicaLeaseTerm(d time.Duration) Option {
+	return func(b *Build) { b.Shard.ReplicaLeaseTerm = d }
+}
 
 // WithPlacement sets the deterministic path-to-shard placement map
 // (default: hash over the full path). [shard]
@@ -329,6 +341,12 @@ func StartServer(spec NodeSpec, diskCaps map[NodeID]uint64, opts ...Option) (*Se
 		}
 	}
 	cfg := server.Config{Core: b.Cluster.Core, Policy: b.Cluster.Policy, Disks: diskCaps}
+	// A node listed in a Topology.ReplicaGroups group runs the PaxosLease
+	// negotiator (rpcnet fills the rest of the replica config from the
+	// group); the option only overrides the lease term.
+	if b.Shard.ReplicaLeaseTerm != 0 && spec.Topo.GroupOf(spec.ID) != nil {
+		cfg.Replica = &replica.Config{LeaseTerm: b.Shard.ReplicaLeaseTerm}
+	}
 	return rpcnet.StartServerNode(spec, cfg, b.Node...)
 }
 

@@ -84,20 +84,6 @@ var (
 // consistency oracle.
 type Cluster = cluster.Cluster
 
-// Options configures a Cluster. It is the struct-valued shim under the
-// unified With* vocabulary (options.go); prefer NewClusterWith for new
-// code.
-type Options = cluster.Options
-
-// DefaultOptions returns a 3-client, 2-disk installation — the same
-// defaults NewClusterWith starts from.
-func DefaultOptions() Options { return cluster.DefaultOptions() }
-
-// NewCluster builds an installation from a hand-built Options; nothing
-// runs until its scheduler does (cl.Start registers the clients).
-// Prefer NewClusterWith(opts ...Option) for new code.
-func NewCluster(opts Options) *Cluster { return cluster.New(opts) }
-
 // BlockSize is the data block size used throughout (4 KiB).
 const BlockSize = cluster.BlockSize
 
@@ -258,6 +244,18 @@ const (
 	TraceShardInstall = trace.EvShardInstall
 	TraceShardDone    = trace.EvShardDone
 	TraceShardAbort   = trace.EvShardAbort
+)
+
+// The replicated-authority event family (DESIGN.md §15): PaxosLease
+// ballots among a shard's replica group, authority-lease grants and
+// lapses, and takeover (Note "cold", "grace", or "grace-end").
+const (
+	TraceReplicaBallotOpen   = trace.EvReplicaBallotOpen
+	TraceReplicaPromise      = trace.EvReplicaPromise
+	TraceReplicaPropose      = trace.EvReplicaPropose
+	TraceReplicaLeaseGranted = trace.EvReplicaLeaseGranted
+	TraceReplicaStepdown     = trace.EvReplicaStepdown
+	TraceReplicaTakeover     = trace.EvReplicaTakeover
 )
 
 // TracePred selects events in TraceStream queries.

@@ -10,7 +10,7 @@ import (
 // Facade-level tests: what a downstream user of the public API sees.
 
 func TestFacadeQuickstartFlow(t *testing.T) {
-	cl := NewCluster(DefaultOptions())
+	cl := NewClusterWith()
 	cl.Start()
 	h, attr := cl.MustOpen(0, "/api.txt", true, true)
 	if attr.Ino == 0 {
@@ -68,7 +68,7 @@ func TestFacadeExperiments(t *testing.T) {
 }
 
 func TestFacadeWorkload(t *testing.T) {
-	cl := NewCluster(DefaultOptions())
+	cl := NewClusterWith()
 	cl.Start()
 	cfg := DefaultWorkload()
 	cfg.Files = 4
