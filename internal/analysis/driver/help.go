@@ -1,0 +1,145 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// helpMain implements `tanklint help [pass]`.
+//
+// With no argument it lists the suite. With a pass name it prints that
+// analyzer's full doc followed by every //lint:allow directive for the
+// pass currently in the shipped tree — the complete exemption surface,
+// with file:line and the mandatory reason — so reviewers can audit what
+// the pass is NOT checking without grepping.
+func helpMain(analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stdout, "tanklint passes:")
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "`tanklint help <pass>` prints the full doc and the tree's //lint:allow exemptions for that pass.")
+		return 0
+	}
+	name := args[0]
+	var a *analysis.Analyzer
+	for _, cand := range analyzers {
+		if cand.Name == name {
+			a = cand
+			break
+		}
+	}
+	if a == nil {
+		names := make([]string, len(analyzers))
+		for i, cand := range analyzers {
+			names[i] = cand.Name
+		}
+		fmt.Fprintf(stderr, "tanklint: unknown pass %q; known passes: %s\n", name, strings.Join(names, ", "))
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %s\n", a.Name, strings.TrimSpace(a.Doc))
+	root := moduleRoot(".")
+	dirs, err := TreeAllows(root, a.Name)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout)
+	if len(dirs) == 0 {
+		fmt.Fprintf(stdout, "No //lint:allow %s exemptions in the tree.\n", a.Name)
+		return 0
+	}
+	fmt.Fprintf(stdout, "//lint:allow %s exemptions in the tree:\n", a.Name)
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil {
+			rel = d.File
+		}
+		fmt.Fprintf(stdout, "  %s:%d: %s\n", rel, d.FromLine, d.Reason)
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod, so
+// `tanklint help` audits the whole module no matter where it is run
+// from. Falls back to dir when no module is found.
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return abs
+		}
+		d = parent
+	}
+}
+
+// TreeAllows parses every .go file under root — skipping testdata
+// fixtures (those allows exist to be suppressed, they are not
+// exemptions of the shipped tree), .git, and bin — and returns the
+// //lint:allow directives naming analyzer. An empty analyzer matches
+// every pass. Results are ordered by file then line; this is the data
+// the per-pass budget meta-test pins.
+func TreeAllows(root, analyzer string) ([]analysis.Directive, error) {
+	fset := token.NewFileSet()
+	var out []analysis.Directive
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git", "bin":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", path, err)
+		}
+		dirs, _ := analysis.PackageDirectives(fset, []*ast.File{f})
+		for _, dir := range dirs {
+			if analyzer == "" || dir.Analyzer == analyzer {
+				out = append(out, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].FromLine < out[j].FromLine
+	})
+	return out, nil
+}

@@ -16,7 +16,9 @@ import (
 // Version is the tool identity `go vet` hashes into its build cache key
 // (via -V=full). Bump it whenever an analyzer's behavior changes, or
 // cached clean verdicts will mask new findings.
-const Version = "tanklint-1.0.0"
+//
+// 1.1.0: added the bufown flow-sensitive ownership pass.
+const Version = "tanklint-1.1.0"
 
 // vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for each
 // package when invoked as `go vet -vettool=tanklint`.
@@ -40,13 +42,14 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// Main is the shared entry point of cmd/tanklint. It speaks three
+// Main is the shared entry point of cmd/tanklint. It speaks four
 // protocols:
 //
-//	tanklint -V=full          → identity line for the go vet build cache
-//	tanklint -flags           → JSON flag descriptions (none)
-//	tanklint <file>.cfg       → one unit-checked package (go vet -vettool)
-//	tanklint [patterns...]    → standalone: load, analyze, print, exit 1
+//	tanklint -V=full            → identity line for the go vet build cache
+//	tanklint -flags             → JSON flag descriptions (none)
+//	tanklint <file>.cfg         → one unit-checked package (go vet -vettool)
+//	tanklint help [pass]        → pass docs and the tree's //lint:allow sites
+//	tanklint [-json] [patterns] → standalone: load, analyze, print, exit 2
 //
 // It returns the process exit code.
 func Main(analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Writer) int {
@@ -63,7 +66,15 @@ func Main(analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Write
 			return unitCheck(args[0], analyzers, stderr)
 		}
 	}
+	if len(args) > 0 && args[0] == "help" {
+		return helpMain(analyzers, args[1:], stdout, stderr)
+	}
+	jsonOut := false
 	patterns := args
+	if len(patterns) > 0 && patterns[0] == "-json" {
+		jsonOut = true
+		patterns = patterns[1:]
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -77,13 +88,49 @@ func Main(analyzers []*analysis.Analyzer, args []string, stdout, stderr io.Write
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if jsonOut {
+		if err := WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// jsonDiag is the -json rendering of one finding. Machine consumers
+// (CI annotation scripts, editors) key on this shape; the line format
+// the GitHub problem matcher scrapes is the plain-text one.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array — always an array, never
+// null, so `jq length` works on a clean run.
+func WriteJSON(w io.Writer, diags []Diag) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 func progName() string { return filepath.Base(os.Args[0]) }

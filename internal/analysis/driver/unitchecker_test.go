@@ -1,0 +1,54 @@
+package driver
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON pins the machine-readable finding shape: the field
+// names are an interface for CI scripting and must not drift.
+func TestWriteJSON(t *testing.T) {
+	diags := []Diag{
+		{
+			Position: token.Position{Filename: "internal/wire/binary.go", Line: 54, Column: 2},
+			Analyzer: "bufown",
+			Message:  "pooled buffer is not released on every path",
+		},
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, b.String())
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1", len(got))
+	}
+	d := got[0]
+	if d.File != "internal/wire/binary.go" || d.Line != 54 || d.Column != 2 ||
+		d.Analyzer != "bufown" || d.Message != "pooled buffer is not released on every path" {
+		t.Errorf("round-trip mismatch: %+v", d)
+	}
+}
+
+// TestWriteJSONEmpty: a clean run renders an empty array, never null —
+// `jq length` and range-over-findings scripts must not special-case it.
+func TestWriteJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(b.String()); s != "[]" {
+		t.Errorf("empty diag list renders %q, want []", s)
+	}
+}

@@ -54,6 +54,8 @@ func classIndex(n int) int {
 
 // Get returns a buffer of length n. Contents are undefined (the buffer
 // is recycled unzeroed); the caller owns it until Put.
+//
+//tank:owns result
 func Get(n int) []byte {
 	if n > MaxClass {
 		return make([]byte, n)
@@ -67,6 +69,7 @@ func Get(n int) []byte {
 		b := (*p)[:n]
 		*p = nil
 		boxes.Put(p)
+		debugGet(b)
 		return b
 	}
 	return make([]byte, n, MinClass<<idx)
@@ -76,6 +79,7 @@ func Get(n int) []byte {
 // whose capacity is not an exact class size (grown, sliced from
 // elsewhere, or larger than MaxClass) are dropped for the GC.
 func Put(b []byte) {
+	debugPut(b)
 	c := cap(b)
 	if c < MinClass || c > MaxClass || c&(c-1) != 0 {
 		return

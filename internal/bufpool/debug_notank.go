@@ -1,0 +1,15 @@
+//go:build !tankdebug
+
+package bufpool
+
+// Release builds: the debug hooks compile to empty, inlinable bodies —
+// Get/Put pay nothing for the instrumentation that exists under the
+// tankdebug tag (see debug_tank.go).
+
+// tankdebugEnabled gates tests that assert allocation-freedom: the
+// debug hooks allocate (stack capture, poison bookkeeping) by design.
+const tankdebugEnabled = false
+
+func debugGet(b []byte) {}
+
+func debugPut(b []byte) {}

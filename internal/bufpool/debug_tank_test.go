@@ -1,0 +1,69 @@
+//go:build tankdebug
+
+package bufpool
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPutPoisons: after Put, the full capacity of the buffer reads as
+// the poison pattern, so any use-after-Put consumes 0xDB instead of
+// plausibly-valid stale bytes.
+func TestPutPoisons(t *testing.T) {
+	b := Get(1000)
+	for i := range b {
+		b[i] = 0xAA
+	}
+	alias := b[:cap(b)] // deliberate contract violation, kept to observe the poison
+	Put(b)
+	for i, v := range alias {
+		if v != poisonByte {
+			t.Fatalf("byte %d after Put = %#x, want poison %#x", i, v, poisonByte)
+		}
+	}
+}
+
+// TestDoublePutPanics: a second Put of the same backing array with no
+// intervening Get panics, and the panic message carries the first
+// Put's stack (this test function must appear in it).
+func TestDoublePutPanics(t *testing.T) {
+	b := Get(2048)
+	Put(b)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Put did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		if !strings.Contains(msg, "double Put") || !strings.Contains(msg, "first Put at:") {
+			t.Fatalf("panic message missing diagnosis:\n%s", msg)
+		}
+		if !strings.Contains(msg, "TestDoublePutPanics") {
+			t.Fatalf("panic message missing first-Put stack:\n%s", msg)
+		}
+	}()
+	Put(b)
+}
+
+// TestGetClearsDoublePutRecord: a buffer recycled through Get may be
+// Put again — the pending-Put record is cleared on the way out of the
+// pool, whichever buffer Get returns.
+func TestGetClearsDoublePutRecord(t *testing.T) {
+	b := Get(512)
+	Put(b)
+	b2 := Get(512)
+	Put(b2) // must not panic, even when b2 reuses b's backing array
+}
+
+// TestNonClassSizePutUntracked: buffers Put drops to the GC (capacity
+// not a class size) are never recycled, so double-putting them is not
+// tracked and must not panic.
+func TestNonClassSizePutUntracked(t *testing.T) {
+	b := make([]byte, 600) // cap 600: not a power of two
+	Put(b)
+	Put(b)
+}

@@ -67,7 +67,7 @@ func (c *Cache) intern(data []byte) *block {
 	}
 	buf := bufpool.Get(len(data))
 	copy(buf, data)
-	b := &block{hash: h, data: buf, refs: 1}
+	b := &block{hash: h, data: buf, refs: 1} //tank:adopt(block owns data; released by deref)
 	c.blocks[h] = append(c.blocks[h], b)
 	c.addBytes(int64(len(buf)))
 	return b
@@ -76,6 +76,8 @@ func (c *Cache) intern(data []byte) *block {
 // internOwned is intern for a buffer the caller already owns (a dirty
 // page being promoted by MarkClean): on a dedup hit the buffer is
 // recycled, otherwise the store adopts it without copying.
+//
+//tank:owns buf
 func (c *Cache) internOwned(buf []byte) *block {
 	h := fnv64a(buf)
 	for _, b := range c.blocks[h] {
@@ -86,7 +88,7 @@ func (c *Cache) internOwned(buf []byte) *block {
 			return b
 		}
 	}
-	b := &block{hash: h, data: buf, refs: 1}
+	b := &block{hash: h, data: buf, refs: 1} //tank:adopt(block owns data; released by deref)
 	c.blocks[h] = append(c.blocks[h], b)
 	c.addBytes(int64(len(buf)))
 	return b

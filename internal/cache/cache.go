@@ -332,7 +332,7 @@ func (c *Cache) Write(ino msg.ObjectID, idx uint64, data []byte, ver uint64) *Pa
 		p.Data = p.Data[:len(data)]
 	} else {
 		bufpool.Put(p.Data)
-		p.Data = bufpool.Get(len(data))
+		p.Data = bufpool.Get(len(data)) //tank:adopt(page owns Data; released on invalidate or intern)
 	}
 	copy(p.Data, data)
 	p.Ver = ver

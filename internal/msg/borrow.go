@@ -17,6 +17,8 @@ type borrowCell struct {
 // transport attaches this on receive and releases after the handler
 // returns; a handler that keeps payload data past its own return must
 // Retain first (or copy the data).
+//
+//tank:owns free
 func (e *Envelope) Borrowed(free func()) {
 	c := &borrowCell{free: free}
 	c.refs.Store(1)

@@ -60,6 +60,7 @@ func (c *binaryCodec) Send(env *msg.Envelope) error {
 	if len(tail) == 0 {
 		_, err = c.conn.Write(buf)
 	} else {
+		//tank:alias(writev staging; cleared below, Put stays with buf)
 		c.iov[0], c.iov[1] = buf, tail
 		bufs := net.Buffers(c.iov[:2])
 		_, err = bufs.WriteTo(c.conn)
